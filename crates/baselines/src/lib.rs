@@ -1,0 +1,25 @@
+//! Every comparator method from the Auto-Suggest evaluation (§6).
+//!
+//! The paper benchmarks against two families: published methods from the
+//! literature (re-implemented here as white boxes, §6.2) and anonymised
+//! commercial systems Vendor-A/B/C, which we reconstruct from the heuristic
+//! behaviour the paper attributes to them (see DESIGN.md §1).
+//!
+//! * Join columns (Table 3): [`join`] — ML-FK, PowerPivot, Multi, Holistic,
+//!   Max-Overlap; [`vendors`] — Vendor-A/B/C.
+//! * Join type (Table 5): [`vendors`] — always-inner default.
+//! * GroupBy (Table 6): [`groupby`] — SQL-history, coarse/fine-grained
+//!   types, Min-Cardinality, Vendor-B/C.
+//! * Pivot (Table 8): [`pivot`] — Affinity (ShowMe), Type-Rules,
+//!   Min-Emptiness, Balanced-Split.
+//! * Unpivot (Table 9): [`unpivot`] — Pattern-similarity,
+//!   Col-name-similarity, Data-type, Contiguous-type.
+//! * Next operator (Table 11): [`nextop`] — N-gram, Single-Operators,
+//!   Random.
+
+pub mod groupby;
+pub mod join;
+pub mod nextop;
+pub mod pivot;
+pub mod unpivot;
+pub mod vendors;

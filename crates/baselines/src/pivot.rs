@@ -1,0 +1,222 @@
+//! Pivot index/header split baselines (Table 8).
+//!
+//! Each method takes the input table and the dimension columns the user
+//! selected (as column indices) and returns `(index, header)` — the split
+//! whose quality Table 8 scores by full accuracy and Rand index.
+
+use autosuggest_dataframe::{DataFrame, DType};
+use autosuggest_features::affinity::raw_err;
+
+/// A predicted split: dimension columns assigned to index vs. header.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Split {
+    pub index: Vec<usize>,
+    pub header: Vec<usize>,
+}
+
+impl Split {
+    fn normalised(mut self) -> Split {
+        self.index.sort_unstable();
+        self.header.sort_unstable();
+        self
+    }
+}
+
+/// **Affinity** (ShowMe): group attributes with hierarchical (FD-like)
+/// relationships on the same side. Columns are linked when their
+/// emptiness-reduction-ratio reveals a strong dependency; connected
+/// components form the index, everything else the header.
+pub fn affinity_split(df: &DataFrame, dims: &[usize]) -> Split {
+    assert!(dims.len() >= 2);
+    // Union-find over dims; link pairs with ERR ≥ 2 (a 2x emptiness saving
+    // signals hierarchy).
+    let n = dims.len();
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn find(parent: &mut Vec<usize>, x: usize) -> usize {
+        if parent[x] != x {
+            let root = find(parent, parent[x]);
+            parent[x] = root;
+        }
+        parent[x]
+    }
+    for (i, &di) in dims.iter().enumerate() {
+        for (j, &dj) in dims.iter().enumerate().skip(i + 1) {
+            if raw_err(df, di, dj) >= 2.0 {
+                let (a, b) = (find(&mut parent, i), find(&mut parent, j));
+                parent[a] = b;
+            }
+        }
+    }
+    // Largest component → index; the rest → header.
+    let mut comp_size: std::collections::HashMap<usize, usize> = std::collections::HashMap::new();
+    for i in 0..n {
+        *comp_size.entry(find(&mut parent, i)).or_insert(0) += 1;
+    }
+    let largest = comp_size
+        .iter()
+        .max_by_key(|&(root, size)| (*size, std::cmp::Reverse(*root)))
+        .map(|(&root, _)| root)
+        .expect("non-empty");
+    let mut index = Vec::new();
+    let mut header = Vec::new();
+    for (i, &d) in dims.iter().enumerate() {
+        if find(&mut parent, i) == largest {
+            index.push(d);
+        } else {
+            header.push(d);
+        }
+    }
+    if header.is_empty() {
+        // Hierarchical methods degenerate when everything links: peel the
+        // last column off as header.
+        header.push(index.pop().expect("at least two dims"));
+    }
+    Split { index, header }.normalised()
+}
+
+/// **Type-Rules** (US patent 7,480,675): static type-based placement —
+/// date/time and numeric dimensions go to the header (column labels),
+/// textual attributes to the index.
+pub fn type_rules_split(df: &DataFrame, dims: &[usize]) -> Split {
+    assert!(dims.len() >= 2);
+    let mut index = Vec::new();
+    let mut header = Vec::new();
+    for &d in dims {
+        match df.column_at(d).dtype() {
+            DType::Str | DType::Bool => index.push(d),
+            _ => header.push(d),
+        }
+    }
+    if index.is_empty() {
+        index.push(header.remove(0));
+    }
+    if header.is_empty() {
+        header.push(index.pop().expect("at least two dims"));
+    }
+    Split { index, header }.normalised()
+}
+
+/// **Min-Emptiness**: greedily merge the pair of column groups with the
+/// maximum emptiness-reduction-ratio until two groups remain; the larger
+/// group becomes the index.
+pub fn min_emptiness_split(df: &DataFrame, dims: &[usize]) -> Split {
+    assert!(dims.len() >= 2);
+    let mut groups: Vec<Vec<usize>> = dims.iter().map(|&d| vec![d]).collect();
+    while groups.len() > 2 {
+        // Find the pair of groups with the highest mean pairwise ERR.
+        let mut best = (0usize, 1usize, f64::NEG_INFINITY);
+        for i in 0..groups.len() {
+            for j in (i + 1)..groups.len() {
+                let mut s = 0.0;
+                let mut cnt = 0.0;
+                for &a in &groups[i] {
+                    for &b in &groups[j] {
+                        s += raw_err(df, a, b);
+                        cnt += 1.0;
+                    }
+                }
+                let mean = s / cnt;
+                if mean > best.2 {
+                    best = (i, j, mean);
+                }
+            }
+        }
+        let (i, j, _) = best;
+        let merged = groups.remove(j);
+        groups[i].extend(merged);
+    }
+    let (a, b) = (groups.remove(0), groups.remove(0));
+    let (index, header) = if a.len() >= b.len() { (a, b) } else { (b, a) };
+    Split { index, header }.normalised()
+}
+
+/// **Balanced-Split**: cut the dimension list in half, first half to the
+/// index — pivot tables are "often balanced in terms of width vs. height".
+pub fn balanced_split(_df: &DataFrame, dims: &[usize]) -> Split {
+    assert!(dims.len() >= 2);
+    let mid = dims.len().div_ceil(2);
+    Split { index: dims[..mid].to_vec(), header: dims[mid..].to_vec() }.normalised()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autosuggest_dataframe::Value;
+
+    /// sector → determined by company; year independent (the Fig. 7 shape).
+    fn filings() -> DataFrame {
+        let mut sector = Vec::new();
+        let mut company = Vec::new();
+        let mut year = Vec::new();
+        let mut revenue = Vec::new();
+        for c in 0..12 {
+            for y in 0..3 {
+                sector.push(Value::Str(format!("sec{}", c / 4)));
+                company.push(Value::Str(format!("co{c}")));
+                year.push(Value::Int(2006 + y));
+                revenue.push(Value::Float((c * 100 + y) as f64));
+            }
+        }
+        DataFrame::from_columns(vec![
+            ("sector", sector),
+            ("company", company),
+            ("year", year),
+            ("revenue", revenue),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn affinity_groups_fd_columns_into_index() {
+        let df = filings();
+        let s = affinity_split(&df, &[0, 1, 2]);
+        assert_eq!(s.index, vec![0, 1]);
+        assert_eq!(s.header, vec![2]);
+    }
+
+    #[test]
+    fn min_emptiness_matches_on_clean_fd() {
+        let df = filings();
+        let s = min_emptiness_split(&df, &[0, 1, 2]);
+        assert_eq!(s.index, vec![0, 1]);
+        assert_eq!(s.header, vec![2]);
+    }
+
+    #[test]
+    fn type_rules_sends_numerics_to_header() {
+        let df = filings();
+        let s = type_rules_split(&df, &[0, 1, 2]);
+        assert_eq!(s.index, vec![0, 1]);
+        assert_eq!(s.header, vec![2]); // year is numeric
+    }
+
+    #[test]
+    fn balanced_split_halves_in_order() {
+        let df = filings();
+        let s = balanced_split(&df, &[0, 1, 2]);
+        assert_eq!(s.index, vec![0, 1]);
+        assert_eq!(s.header, vec![2]);
+        let s4 = balanced_split(&df, &[0, 1, 2, 3]);
+        assert_eq!(s4.index.len(), 2);
+    }
+
+    #[test]
+    fn splits_are_always_non_empty_partitions() {
+        let df = filings();
+        for f in [affinity_split, type_rules_split, min_emptiness_split, balanced_split] {
+            let s = f(&df, &[0, 1, 2]);
+            assert!(!s.index.is_empty() && !s.header.is_empty());
+            let mut all: Vec<usize> = s.index.iter().chain(&s.header).copied().collect();
+            all.sort_unstable();
+            assert_eq!(all, vec![0, 1, 2]);
+        }
+    }
+
+    #[test]
+    fn all_string_dims_still_split_under_type_rules() {
+        let df = filings();
+        let s = type_rules_split(&df, &[0, 1]);
+        assert_eq!(s.index.len(), 1);
+        assert_eq!(s.header.len(), 1);
+    }
+}

@@ -1,0 +1,46 @@
+//! DataFrame operator benchmarks — the replay engine's hot path.
+
+use autosuggest_corpus::TableGenerator;
+use autosuggest_dataframe::ops::{self, Agg, JoinType};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_ops(c: &mut Criterion) {
+    let mut generator = TableGenerator::with_seed(9);
+    let entities = generator.entities(40);
+    let fact = generator.fact_table(&entities).df;
+    let dim = generator.dimension_table(&entities, "entity_id").df;
+    let wide = generator.wide_pivot_table(12);
+    let key = fact.column_names()[1].to_string();
+
+    c.bench_function("merge_inner", |b| {
+        b.iter(|| {
+            black_box(
+                ops::merge(&fact, &dim, &[&key], &["entity_id"], JoinType::Inner).unwrap(),
+            )
+        })
+    });
+    let dims: Vec<&str> = fact.column_names().into_iter().take(2).collect();
+    let measure = fact.column_names().last().unwrap().to_string();
+    c.bench_function("groupby_sum", |b| {
+        b.iter(|| black_box(ops::groupby(&fact, &dims, &[(&measure, Agg::Sum)]).unwrap()))
+    });
+    c.bench_function("pivot_table", |b| {
+        b.iter(|| {
+            black_box(
+                ops::pivot_table(&fact, &dims[..1], &["year"], &measure, Agg::Sum).unwrap(),
+            )
+        })
+    });
+    let id_vars: Vec<&str> = wide.meta.dim_cols.iter().map(String::as_str).collect();
+    let value_vars: Vec<&str> = wide.meta.collapse_cols.iter().map(String::as_str).collect();
+    c.bench_function("melt_wide", |b| {
+        b.iter(|| {
+            black_box(ops::melt(&wide.df, &id_vars, &value_vars, "year", "value").unwrap())
+        })
+    });
+    c.bench_function("content_hash", |b| b.iter(|| black_box(fact.content_hash())));
+}
+
+criterion_group!(benches, bench_ops);
+criterion_main!(benches);

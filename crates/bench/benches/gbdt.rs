@@ -1,0 +1,42 @@
+//! GBDT training and scoring benchmarks.
+
+use autosuggest_gbdt::{Dataset, Gbdt, GbdtParams};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn synthetic(n: usize, features: usize, seed: u64) -> Dataset {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let rows: Vec<Vec<f64>> = (0..n)
+        .map(|_| (0..features).map(|_| rng.random_range(-1.0..1.0)).collect())
+        .collect();
+    let labels: Vec<f64> = rows
+        .iter()
+        .map(|r| if r[0] + 0.5 * r[1] > 0.0 { 1.0 } else { 0.0 })
+        .collect();
+    let names = (0..features).map(|i| format!("f{i}")).collect();
+    Dataset::new(names, rows, labels).expect("rectangular")
+}
+
+fn bench_fit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gbdt_fit");
+    group.sample_size(10);
+    for n in [500, 2000] {
+        let data = synthetic(n, 18, 3);
+        let params = GbdtParams { n_trees: 50, ..Default::default() };
+        group.bench_with_input(BenchmarkId::from_parameter(n), &data, |b, data| {
+            b.iter(|| black_box(Gbdt::fit(data, &params)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_predict(c: &mut Criterion) {
+    let data = synthetic(2000, 18, 4);
+    let model = Gbdt::fit(&data, &GbdtParams::default());
+    let x: Vec<f64> = (0..18).map(|i| i as f64 / 18.0).collect();
+    c.bench_function("gbdt_predict", |b| b.iter(|| black_box(model.predict(&x))));
+}
+
+criterion_group!(benches, bench_fit, bench_predict);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Join recommendation pipeline benchmarks: candidate enumeration (with
+//! and without sketch pruning — ablation 5 of DESIGN.md §4) and feature
+//! extraction.
+
+use autosuggest_corpus::TableGenerator;
+use autosuggest_features::{enumerate_join_candidates, join_features, CandidateParams};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_enumeration(c: &mut Criterion) {
+    let mut generator = TableGenerator::with_seed(5);
+    let case = generator.join_pair();
+    let (left, right) = (&case.left.df, &case.right.df);
+
+    let mut group = c.benchmark_group("join_candidates");
+    let pruned = CandidateParams::default();
+    group.bench_function("enumerate_pruned", |b| {
+        b.iter(|| black_box(enumerate_join_candidates(left, right, &pruned)))
+    });
+    let unpruned = CandidateParams { min_containment: 0.0, ..CandidateParams::default() };
+    group.bench_function("enumerate_unpruned", |b| {
+        b.iter(|| black_box(enumerate_join_candidates(left, right, &unpruned)))
+    });
+    group.finish();
+}
+
+fn bench_features(c: &mut Criterion) {
+    let mut generator = TableGenerator::with_seed(6);
+    let case = generator.join_pair();
+    let (left, right) = (&case.left.df, &case.right.df);
+    let cands = enumerate_join_candidates(left, right, &CandidateParams::default());
+    assert!(!cands.is_empty());
+
+    c.bench_function("join_features_per_candidate", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            let cand = &cands[i % cands.len()];
+            i += 1;
+            black_box(join_features(left, right, cand))
+        })
+    });
+}
+
+criterion_group!(benches, bench_enumeration, bench_features);
+criterion_main!(benches);

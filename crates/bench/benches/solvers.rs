@@ -1,0 +1,57 @@
+//! AMPT and CMUT solver benchmarks (ablation 1–2 of DESIGN.md §4):
+//! exact enumeration vs. Stoer–Wagner for AMPT, greedy vs. exhaustive for
+//! CMUT, across graph sizes.
+
+use autosuggest_graph::{ampt_exact, ampt_min_cut, cmut_exhaustive, cmut_greedy, AffinityGraph};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn random_graph(n: usize, seed: u64) -> AffinityGraph {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut g = AffinityGraph::new(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            g.set(u, v, rng.random_range(-1.0..1.0));
+        }
+    }
+    g
+}
+
+fn bench_ampt(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ampt");
+    for n in [6, 10, 14] {
+        let g = random_graph(n, n as u64);
+        group.bench_with_input(BenchmarkId::new("exact", n), &g, |b, g| {
+            b.iter(|| black_box(ampt_exact(g)))
+        });
+        group.bench_with_input(BenchmarkId::new("min_cut", n), &g, |b, g| {
+            b.iter(|| black_box(ampt_min_cut(g)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_cmut(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cmut");
+    for n in [8, 12, 16] {
+        let g = random_graph(n, 100 + n as u64);
+        group.bench_with_input(BenchmarkId::new("greedy", n), &g, |b, g| {
+            b.iter(|| black_box(cmut_greedy(g)))
+        });
+        group.bench_with_input(BenchmarkId::new("exhaustive", n), &g, |b, g| {
+            b.iter(|| black_box(cmut_exhaustive(g)))
+        });
+    }
+    // The greedy scales far past what exhaustive can touch.
+    for n in [64, 128] {
+        let g = random_graph(n, 200 + n as u64);
+        group.bench_with_input(BenchmarkId::new("greedy", n), &g, |b, g| {
+            b.iter(|| black_box(cmut_greedy(g)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ampt, bench_cmut);
+criterion_main!(benches);

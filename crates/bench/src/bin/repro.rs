@@ -1,0 +1,83 @@
+//! `repro` — regenerate every table of the Auto-Suggest evaluation.
+//!
+//! ```text
+//! repro [--fast] [--seed N] all | table2 | table3 | table4 | table5 |
+//!       table6 | table7 | table8 | table9 | table10 | table11 |
+//!       ablation-ampt | ablation-cmut | ablation-join
+//! ```
+//!
+//! `--fast` uses the small test-scale corpus (seconds instead of minutes);
+//! the default corpus is the full ~1:40-scale generation DESIGN.md
+//! describes. Output prints each reproduced table next to the paper's
+//! reported numbers.
+
+use autosuggest_bench::tables::{self, ReproContext};
+use autosuggest_core::AutoSuggestConfig;
+use autosuggest_corpus::CorpusConfig;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut fast = false;
+    let mut seed = 42u64;
+    let mut targets: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--fast" => fast = true,
+            "--seed" => {
+                seed = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .expect("--seed takes an integer");
+            }
+            other => targets.push(other.to_string()),
+        }
+    }
+    if targets.is_empty() {
+        targets.push("all".to_string());
+    }
+
+    let mut config = if fast {
+        AutoSuggestConfig::fast(seed)
+    } else {
+        AutoSuggestConfig::default()
+    };
+    config.corpus = if fast { CorpusConfig::small(seed) } else { CorpusConfig { seed, ..CorpusConfig::default() } };
+
+    eprintln!(
+        "[repro] generating corpus, replaying notebooks, training models (fast={fast}, seed={seed})..."
+    );
+    let t0 = std::time::Instant::now();
+    let ctx = ReproContext::build(config);
+    eprintln!(
+        "[repro] pipeline trained in {:.1}s: {} join / {} groupby / {} pivot / {} melt test cases, {} next-op queries",
+        t0.elapsed().as_secs_f64(),
+        ctx.system.test.join.len(),
+        ctx.system.test.groupby.len(),
+        ctx.system.test.pivot.len(),
+        ctx.system.test.melt.len(),
+        ctx.system.test.nextop.len(),
+    );
+
+    for target in &targets {
+        let all = target == "all";
+        let run = |name: &str, f: &dyn Fn(&ReproContext) -> String| {
+            if all || target == name {
+                println!("{}", f(&ctx));
+            }
+        };
+        run("table2", &tables::table2::run);
+        run("table3", &tables::table3::run);
+        run("table4", &tables::table4::run);
+        run("table5", &tables::table5::run);
+        run("table6", &tables::table6::run);
+        run("table7", &tables::table6::run_importance);
+        run("table8", &tables::table8::run);
+        run("table9", &tables::table9::run);
+        run("table10", &tables::table10::run);
+        run("table11", &tables::table11::run);
+        run("ablation-ampt", &tables::ablations::ampt);
+        run("ablation-cmut", &tables::ablations::cmut);
+        run("ablation-join", &tables::ablations::join_knockout);
+    }
+}

@@ -1,0 +1,13 @@
+//! Benchmark harness regenerating every table of the Auto-Suggest
+//! evaluation (§6).
+//!
+//! The `repro` binary drives end-to-end reproduction: it generates the
+//! synthetic corpus, replays it, trains all predictors, evaluates them and
+//! every baseline, and prints each table of the paper side by side with the
+//! paper's reported numbers. Criterion micro-benchmarks in `benches/` cover
+//! the latency-sensitive pieces (candidate enumeration, AMPT/CMUT solvers,
+//! GBDT scoring, DataFrame operators).
+
+pub mod tables;
+
+pub use tables::{ReproContext, TableRow};

@@ -1,0 +1,27 @@
+//! Table 10: distribution of operators in data flows.
+
+use super::{render_table, ReproContext, TableRow};
+use autosuggest_corpus::stats::operator_distribution;
+
+pub fn run(ctx: &ReproContext) -> String {
+    let dist = operator_distribution(&ctx.system.reports);
+    let ours: Vec<TableRow> = dist
+        .into_iter()
+        .map(|(op, frac)| TableRow::new(op.as_str(), vec![frac]))
+        .collect();
+    let paper = vec![
+        TableRow::new("groupby", vec![0.333]),
+        TableRow::new("join", vec![0.276]),
+        TableRow::new("concat", vec![0.122]),
+        TableRow::new("dropna", vec![0.108]),
+        TableRow::new("fillna", vec![0.096]),
+        TableRow::new("pivot", vec![0.041]),
+        TableRow::new("unpivot", vec![0.024]),
+    ];
+    render_table(
+        "Table 10: Operator distribution in data flows",
+        &["fraction"],
+        &ours,
+        &paper,
+    )
+}

@@ -1,0 +1,67 @@
+//! Table 11: next-operator prediction.
+
+use super::{render_table, ReproContext, TableRow};
+use autosuggest_baselines::nextop::RandomNextOp;
+use autosuggest_ranking::{mean, precision_at_k, recall_at_k};
+
+fn evaluate<R>(ctx: &ReproContext, mut rank: R) -> Vec<f64>
+where
+    R: FnMut(usize, &[usize], &[f64]) -> Vec<usize>,
+{
+    let mut p1 = Vec::new();
+    let mut p2 = Vec::new();
+    let mut r1 = Vec::new();
+    let mut r2 = Vec::new();
+    for (i, ex) in ctx.system.test.nextop.iter().enumerate() {
+        let order = rank(i, &ex.prefix, &ex.table_scores);
+        let ranked: Vec<bool> = order.iter().map(|&o| o == ex.label).collect();
+        p1.push(precision_at_k(&ranked, 1, 1));
+        p2.push(precision_at_k(&ranked, 1, 2));
+        r1.push(recall_at_k(&ranked, 1, 1));
+        r2.push(recall_at_k(&ranked, 1, 2));
+    }
+    vec![mean(&p1), mean(&p2), mean(&r1), mean(&r2)]
+}
+
+pub fn run(ctx: &ReproContext) -> String {
+    let m = &ctx.system.models;
+    let random = RandomNextOp::new(99);
+    let ours = vec![
+        TableRow::new(
+            "Auto-Suggest",
+            evaluate(ctx, |_, p, t| m.nextop_full.predict_ranked(p, t)),
+        ),
+        TableRow::new(
+            "RNN",
+            evaluate(ctx, |_, p, t| m.nextop_rnn_only.predict_ranked(p, t)),
+        ),
+        TableRow::new(
+            "N-gram model",
+            evaluate(ctx, |_, p, _| m.ngram.predict_ranked(p)),
+        ),
+        TableRow::new(
+            "Single-Operators",
+            evaluate(ctx, |_, p, t| m.nextop_single_ops.predict_ranked(p, t)),
+        ),
+        TableRow::new("Random", evaluate(ctx, |i, _, _| random.predict_ranked(i))),
+    ];
+    let paper = vec![
+        TableRow::new("Auto-Suggest", vec![0.72, 0.79, 0.72, 0.85]),
+        TableRow::new("RNN", vec![0.56, 0.68, 0.56, 0.77]),
+        TableRow::new("N-gram model", vec![0.40, 0.53, 0.40, 0.66]),
+        TableRow::new("Single-Operators", vec![0.32, 0.41, 0.32, 0.50]),
+        TableRow::new("Random", vec![0.23, 0.35, 0.24, 0.42]),
+    ];
+    format!(
+        "{}\n({} test next-op queries; our ground truth has exactly one \
+relevant operator per query, so prec@k uses the paper's no-tail-penalty \
+convention and coincides with recall@k)\n",
+        render_table(
+            "Table 11: Next-operator prediction",
+            &["prec@1", "prec@2", "rec@1", "rec@2"],
+            &ours,
+            &paper,
+        ),
+        ctx.system.test.nextop.len()
+    )
+}

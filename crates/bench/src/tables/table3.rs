@@ -1,0 +1,112 @@
+//! Table 3: join column prediction quality.
+
+use super::{render_table, ReproContext, TableRow};
+use autosuggest_baselines::join::{Holistic, JoinBaseline, MaxOverlap, MlFk, Multi, PowerPivot};
+use autosuggest_baselines::vendors::{VendorA, VendorB, VendorC};
+use autosuggest_core::join::{candidates_with_truth, ground_truth_candidate};
+use autosuggest_corpus::replay::OpInvocation;
+use autosuggest_ranking::{mean, ndcg_at_k, precision_at_k};
+
+/// Per-method metrics over a set of join cases: prec@1, prec@2, ndcg@1,
+/// ndcg@2.
+fn evaluate<R>(cases: &[&OpInvocation], ctx: &ReproContext, mut rank: R) -> Vec<f64>
+where
+    R: FnMut(&OpInvocation, &[autosuggest_features::JoinCandidate]) -> Vec<usize>,
+{
+    let params = ctx
+        .system
+        .models
+        .join
+        .as_ref()
+        .expect("join model trained")
+        .candidate_params();
+    let mut p1 = Vec::new();
+    let mut p2 = Vec::new();
+    let mut n1 = Vec::new();
+    let mut n2 = Vec::new();
+    for inv in cases {
+        let Some(truth) = ground_truth_candidate(inv) else { continue };
+        let cands =
+            candidates_with_truth(&inv.inputs[0], &inv.inputs[1], &truth, params);
+        let order = rank(inv, &cands);
+        let ranked: Vec<bool> = order.iter().map(|&i| cands[i] == truth).collect();
+        p1.push(precision_at_k(&ranked, 1, 1));
+        p2.push(precision_at_k(&ranked, 1, 2));
+        n1.push(ndcg_at_k(&ranked, 1, 1));
+        n2.push(ndcg_at_k(&ranked, 1, 2));
+    }
+    vec![mean(&p1), mean(&p2), mean(&n1), mean(&n2)]
+}
+
+/// Run the Table 3 evaluation; returns the rendered table.
+pub fn run(ctx: &ReproContext) -> String {
+    let model = ctx.system.models.join.as_ref().expect("join model trained");
+    let cases: Vec<&OpInvocation> = ctx.system.test.join.iter().collect();
+
+    let mut ours = vec![TableRow::new(
+        "Auto-Suggest",
+        evaluate(&cases, ctx, |inv, cands| {
+            model.rank_candidates(&inv.inputs[0], &inv.inputs[1], cands)
+        }),
+    )];
+    let literature: Vec<(&str, Box<dyn JoinBaseline>)> = vec![
+        ("ML-FK", Box::new(MlFk)),
+        ("PowerPivot", Box::new(PowerPivot)),
+        ("Multi", Box::new(Multi)),
+        ("Holistic", Box::new(Holistic)),
+        ("max-overlap", Box::new(MaxOverlap)),
+    ];
+    for (name, method) in &literature {
+        ours.push(TableRow::new(
+            *name,
+            evaluate(&cases, ctx, |inv, cands| {
+                method.rank(&inv.inputs[0], &inv.inputs[1], cands)
+            }),
+        ));
+    }
+    // Vendors: evaluated on a sample of up to 200 cases (the paper cannot
+    // script the vendor UIs; we keep the protocol for comparability).
+    let sample: Vec<&OpInvocation> = cases.iter().take(200).copied().collect();
+    let vendors: Vec<(&str, Box<dyn JoinBaseline>)> = vec![
+        ("Vendor-A", Box::new(VendorA)),
+        ("Vendor-B", Box::new(VendorB)),
+        ("Vendor-C", Box::new(VendorC)),
+    ];
+    ours.push(TableRow::new(
+        "Auto-Suggest (sampled)",
+        evaluate(&sample, ctx, |inv, cands| {
+            model.rank_candidates(&inv.inputs[0], &inv.inputs[1], cands)
+        }),
+    ));
+    for (name, method) in &vendors {
+        ours.push(TableRow::new(
+            *name,
+            evaluate(&sample, ctx, |inv, cands| {
+                method.rank(&inv.inputs[0], &inv.inputs[1], cands)
+            }),
+        ));
+    }
+
+    let paper = vec![
+        TableRow::new("Auto-Suggest", vec![0.89, 0.92, 0.89, 0.93]),
+        TableRow::new("ML-FK", vec![0.84, 0.87, 0.84, 0.87]),
+        TableRow::new("PowerPivot", vec![0.31, 0.44, 0.31, 0.48]),
+        TableRow::new("Multi", vec![0.33, 0.40, 0.33, 0.41]),
+        TableRow::new("Holistic", vec![0.57, 0.63, 0.57, 0.65]),
+        TableRow::new("max-overlap", vec![0.53, 0.61, 0.53, 0.63]),
+        TableRow::new("Auto-Suggest (sampled)", vec![0.92, f64::NAN, 0.92, f64::NAN]),
+        TableRow::new("Vendor-A", vec![0.76, f64::NAN, 0.76, f64::NAN]),
+        TableRow::new("Vendor-C", vec![0.42, f64::NAN, 0.42, f64::NAN]),
+        TableRow::new("Vendor-B", vec![0.33, f64::NAN, 0.33, f64::NAN]),
+    ];
+    format!(
+        "{}\n({} test join cases)\n",
+        render_table(
+            "Table 3: Join column prediction",
+            &["prec@1", "prec@2", "ndcg@1", "ndcg@2"],
+            &ours,
+            &paper,
+        ),
+        cases.len()
+    )
+}

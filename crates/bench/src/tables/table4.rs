@@ -1,0 +1,28 @@
+//! Table 4: importance of feature groups for join column prediction.
+
+use super::{render_table, ReproContext, TableRow};
+
+pub fn run(ctx: &ReproContext) -> String {
+    let model = ctx.system.models.join.as_ref().expect("join model trained");
+    let ours: Vec<TableRow> = model
+        .importance_by_group()
+        .into_iter()
+        .map(|(group, imp)| TableRow::new(group, vec![imp]))
+        .collect();
+    let paper = vec![
+        TableRow::new("left-ness", vec![0.35]),
+        TableRow::new("val-range-overlap", vec![0.35]),
+        TableRow::new("distinct-val-ratio", vec![0.11]),
+        TableRow::new("val-overlap", vec![0.05]),
+        TableRow::new("single-col-candidate", vec![0.04]),
+        TableRow::new("col-val-types", vec![0.01]),
+        TableRow::new("table-stats", vec![0.01]),
+        TableRow::new("sorted-ness", vec![0.01]),
+    ];
+    render_table(
+        "Table 4: Join feature-group importance",
+        &["importance"],
+        &ours,
+        &paper,
+    )
+}

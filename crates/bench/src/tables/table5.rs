@@ -1,0 +1,46 @@
+//! Table 5: join type prediction.
+
+use super::{render_table, ReproContext, TableRow};
+use autosuggest_core::join::ground_truth_candidate;
+use autosuggest_corpus::replay::OpParams;
+use autosuggest_dataframe::ops::JoinType;
+
+pub fn run(ctx: &ReproContext) -> String {
+    let model = ctx
+        .system
+        .models
+        .join_type
+        .as_ref()
+        .expect("join type model trained");
+    let mut ours_hits = 0usize;
+    let mut inner_hits = 0usize;
+    let mut total = 0usize;
+    for inv in &ctx.system.test.join {
+        let OpParams::Merge { how, .. } = &inv.params else { continue };
+        let Some(truth) = ground_truth_candidate(inv) else { continue };
+        let pred = model.predict(&inv.inputs[0], &inv.inputs[1], &truth);
+        total += 1;
+        if pred == *how {
+            ours_hits += 1;
+        }
+        if *how == JoinType::Inner {
+            inner_hits += 1; // the vendor default always answers inner
+        }
+    }
+    let ours = vec![
+        TableRow::new("Auto-Suggest", vec![ours_hits as f64 / total.max(1) as f64]),
+        TableRow::new(
+            "Vendor-A (always inner)",
+            vec![inner_hits as f64 / total.max(1) as f64],
+        ),
+    ];
+    let paper = vec![
+        TableRow::new("Auto-Suggest", vec![0.88]),
+        TableRow::new("Vendor-A (always inner)", vec![0.78]),
+    ];
+    format!(
+        "{}\n({total} test cases; inner-join base rate {:.2})\n",
+        render_table("Table 5: Join type prediction", &["prec@1"], &ours, &paper),
+        inner_hits as f64 / total.max(1) as f64
+    )
+}

@@ -1,0 +1,282 @@
+//! The end-to-end Auto-Suggest pipeline: corpus → replay → logs → models.
+
+use crate::groupby::GroupByAggPredictor;
+use crate::join::JoinColumnPredictor;
+use crate::join_type::JoinTypePredictor;
+use crate::nextop::{single_op_scores, NextOpConfig, NextOpExample, NextOpMode, NextOpPredictor};
+use crate::pivot::{CompatibilityModel, PivotPredictor};
+use crate::unpivot::UnpivotPredictor;
+use autosuggest_corpus::replay::OpInvocation;
+use autosuggest_corpus::{
+    filter_invocations, grouped_split, CorpusConfig, CorpusGenerator, FilterStats, OpKind,
+    ReplayEngine, ReplayReport,
+};
+use autosuggest_features::CandidateParams;
+use autosuggest_gbdt::GbdtParams;
+use autosuggest_nn::NgramModel;
+
+/// End-to-end training configuration.
+#[derive(Debug, Clone)]
+pub struct AutoSuggestConfig {
+    pub corpus: CorpusConfig,
+    pub gbdt: GbdtParams,
+    pub candidates: CandidateParams,
+    pub nextop: NextOpConfig,
+    /// Test fraction of the grouped 80/20 split (§6.1).
+    pub test_fraction: f64,
+    /// Seed for the grouped split.
+    pub split_seed: u64,
+}
+
+impl Default for AutoSuggestConfig {
+    fn default() -> Self {
+        AutoSuggestConfig {
+            corpus: CorpusConfig::default(),
+            gbdt: GbdtParams::default(),
+            candidates: CandidateParams::default(),
+            nextop: NextOpConfig::default(),
+            test_fraction: 0.2,
+            split_seed: 17,
+        }
+    }
+}
+
+impl AutoSuggestConfig {
+    /// A configuration sized for tests: small corpus, light models.
+    pub fn fast(seed: u64) -> Self {
+        AutoSuggestConfig {
+            corpus: CorpusConfig::small(seed),
+            gbdt: GbdtParams { n_trees: 40, ..Default::default() },
+            nextop: NextOpConfig { epochs: 25, ..Default::default() },
+            ..Default::default()
+        }
+    }
+}
+
+/// All trained predictors.
+pub struct TrainedModels {
+    pub join: Option<JoinColumnPredictor>,
+    pub join_type: Option<JoinTypePredictor>,
+    pub groupby: Option<GroupByAggPredictor>,
+    pub pivot: Option<PivotPredictor>,
+    pub unpivot: Option<UnpivotPredictor>,
+    pub nextop_full: NextOpPredictor,
+    pub nextop_rnn_only: NextOpPredictor,
+    pub nextop_single_ops: NextOpPredictor,
+    pub ngram: NgramModel,
+}
+
+/// Held-out test data for the evaluation harness.
+pub struct TestData {
+    pub join: Vec<OpInvocation>,
+    pub groupby: Vec<OpInvocation>,
+    pub pivot: Vec<OpInvocation>,
+    pub melt: Vec<OpInvocation>,
+    pub nextop: Vec<NextOpExample>,
+}
+
+/// Training-side data kept for baselines that need "history"
+/// (SQL-history, vendors' priors) and for diagnostics.
+pub struct TrainData {
+    pub join: Vec<OpInvocation>,
+    pub groupby: Vec<OpInvocation>,
+    pub pivot: Vec<OpInvocation>,
+    pub melt: Vec<OpInvocation>,
+    pub nextop: Vec<NextOpExample>,
+    pub sequences: Vec<Vec<usize>>,
+}
+
+/// The trained Auto-Suggest system plus everything the evaluation needs.
+pub struct AutoSuggest {
+    pub models: TrainedModels,
+    pub train: TrainData,
+    pub test: TestData,
+    /// All replay reports (corpus statistics, Tables 2 and 10).
+    pub reports: Vec<ReplayReport>,
+    pub filter_stats: FilterStats,
+    pub config: AutoSuggestConfig,
+}
+
+impl AutoSuggest {
+    /// Run the whole offline pipeline of Fig. 3: generate (stand-in for
+    /// crawl), replay + instrument, filter, split without leakage, train
+    /// every predictor.
+    pub fn train(config: AutoSuggestConfig) -> AutoSuggest {
+        let corpus = CorpusGenerator::new(config.corpus.clone()).generate();
+        let engine = ReplayEngine::new(corpus.repository.clone());
+        let reports: Vec<ReplayReport> =
+            corpus.notebooks.iter().map(|nb| engine.replay(nb)).collect();
+
+        let all_invocations: Vec<OpInvocation> = reports
+            .iter()
+            .flat_map(|r| r.invocations.iter().cloned())
+            .collect();
+        let (filtered, filter_stats) = filter_invocations(all_invocations, 5);
+
+        // Grouped 80/20 split (§6.1): group key = dataset_group.
+        let split = grouped_split(
+            &filtered,
+            |inv| inv.dataset_group.as_str(),
+            config.test_fraction,
+            config.split_seed,
+        );
+        let mut train_invs: Vec<OpInvocation> = Vec::new();
+        let mut test_invs: Vec<OpInvocation> = Vec::new();
+        for (i, inv) in filtered.into_iter().enumerate() {
+            if split.test.contains(&i) {
+                test_invs.push(inv);
+            } else {
+                train_invs.push(inv);
+            }
+        }
+
+        let of_kind = |invs: &[OpInvocation], k: OpKind| -> Vec<OpInvocation> {
+            invs.iter().filter(|i| i.op == k).cloned().collect()
+        };
+        let train_join = of_kind(&train_invs, OpKind::Merge);
+        let train_groupby = of_kind(&train_invs, OpKind::GroupBy);
+        let train_pivot = of_kind(&train_invs, OpKind::Pivot);
+        let train_melt = of_kind(&train_invs, OpKind::Melt);
+
+        fn refs(v: &[OpInvocation]) -> Vec<&OpInvocation> {
+            v.iter().collect()
+        }
+        let join = JoinColumnPredictor::train(
+            &refs(&train_join),
+            &config.gbdt,
+            config.candidates.clone(),
+        );
+        let join_type = JoinTypePredictor::train(&refs(&train_join), &config.gbdt);
+        let groupby = GroupByAggPredictor::train(&refs(&train_groupby), &config.gbdt);
+        let compat = CompatibilityModel::train(
+            &refs(&train_pivot),
+            &refs(&train_melt),
+            &config.gbdt,
+        );
+        let pivot = compat.clone().map(PivotPredictor::new);
+        let unpivot = compat.map(UnpivotPredictor::new);
+
+        // Next-operator examples from per-notebook invocation streams,
+        // split on the same dataset groups.
+        let mut train_examples: Vec<NextOpExample> = Vec::new();
+        let mut test_examples: Vec<NextOpExample> = Vec::new();
+        let mut train_sequences: Vec<Vec<usize>> = Vec::new();
+        if let (Some(gb), Some(pv)) = (&groupby, &pivot) {
+            for report in &reports {
+                let stream: Vec<&OpInvocation> = report
+                    .invocations
+                    .iter()
+                    .filter(|i| i.op.sequence_id().is_some())
+                    .collect();
+                if stream.len() < 2 {
+                    continue;
+                }
+                let is_test = {
+                    // Same membership rule as grouped_split.
+                    use std::hash::{Hash, Hasher};
+                    let mut h = std::collections::hash_map::DefaultHasher::new();
+                    config.split_seed.hash(&mut h);
+                    report.dataset_group.as_str().hash(&mut h);
+                    h.finish() < (config.test_fraction * u64::MAX as f64) as u64
+                };
+                let mut prefix: Vec<usize> = Vec::new();
+                let mut examples = Vec::new();
+                for inv in &stream {
+                    let label = inv.op.sequence_id().expect("sequence op");
+                    let scores = single_op_scores(&inv.inputs[0], gb, pv.compatibility());
+                    examples.push(NextOpExample {
+                        prefix: prefix.clone(),
+                        table_scores: scores,
+                        label,
+                    });
+                    prefix.push(label);
+                }
+                if is_test {
+                    test_examples.extend(examples);
+                } else {
+                    train_sequences.push(prefix);
+                    train_examples.extend(examples);
+                }
+            }
+        }
+
+        let nextop_full = NextOpPredictor::train(
+            NextOpConfig { mode: NextOpMode::Full, ..config.nextop.clone() },
+            &train_examples,
+        );
+        let nextop_rnn_only = NextOpPredictor::train(
+            NextOpConfig { mode: NextOpMode::RnnOnly, ..config.nextop.clone() },
+            &train_examples,
+        );
+        let nextop_single_ops = NextOpPredictor::train(
+            NextOpConfig { mode: NextOpMode::SingleOperators, ..config.nextop.clone() },
+            &[],
+        );
+        let mut ngram = NgramModel::new(3, crate::nextop::NUM_OPS);
+        ngram.train(&train_sequences);
+
+        AutoSuggest {
+            models: TrainedModels {
+                join,
+                join_type,
+                groupby,
+                pivot,
+                unpivot,
+                nextop_full,
+                nextop_rnn_only,
+                nextop_single_ops,
+                ngram,
+            },
+            train: TrainData {
+                join: train_join,
+                groupby: train_groupby,
+                pivot: train_pivot,
+                melt: train_melt,
+                nextop: train_examples,
+                sequences: train_sequences,
+            },
+            test: TestData {
+                join: of_kind(&test_invs, OpKind::Merge),
+                groupby: of_kind(&test_invs, OpKind::GroupBy),
+                pivot: of_kind(&test_invs, OpKind::Pivot),
+                melt: of_kind(&test_invs, OpKind::Melt),
+                nextop: test_examples,
+            },
+            reports,
+            filter_stats,
+            config,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn end_to_end_training_produces_all_models_and_disjoint_splits() {
+        let system = AutoSuggest::train(AutoSuggestConfig::fast(3));
+        assert!(system.models.join.is_some());
+        assert!(system.models.join_type.is_some());
+        assert!(system.models.groupby.is_some());
+        assert!(system.models.pivot.is_some());
+        assert!(system.models.unpivot.is_some());
+        assert!(!system.train.join.is_empty());
+        // Test sets are non-empty and leak-free at the group level.
+        let train_groups: std::collections::HashSet<&str> = system
+            .train
+            .join
+            .iter()
+            .map(|i| i.dataset_group.as_str())
+            .collect();
+        for t in &system.test.join {
+            assert!(
+                !train_groups.contains(t.dataset_group.as_str()),
+                "group {} leaked into both sides",
+                t.dataset_group
+            );
+        }
+        assert!(!system.test.nextop.is_empty() || !system.train.nextop.is_empty());
+        assert!(system.filter_stats.kept > 0);
+    }
+}

@@ -1,0 +1,742 @@
+//! The replay engine (§3.2): execute notebooks cell-by-cell, repair
+//! missing files and packages, and instrument every operator invocation.
+
+use crate::datasets::{extract_urls, DatasetRepository};
+use crate::flowgraph::{FlowGraph, OpKind};
+use crate::lang::{expr_inputs, Expr, FillValue, Stmt};
+use crate::notebook::Notebook;
+use autosuggest_dataframe::ops::{self, Agg, DropHow, JoinType};
+use autosuggest_dataframe::{io, DataFrame, Value};
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
+
+/// Full parameterisation of one operator call — explicit arguments plus the
+/// implicit defaults Pandas would fill in, which the paper logs too ("8
+/// implicit parameters that use default values").
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum OpParams {
+    Merge {
+        left_on: Vec<String>,
+        right_on: Vec<String>,
+        how: JoinType,
+        // Implicit defaults (constant under our replay, logged for fidelity).
+        suffixes: (String, String),
+        sort: bool,
+        indicator: bool,
+    },
+    GroupBy {
+        keys: Vec<String>,
+        aggs: Vec<(String, Agg)>,
+        sort: bool,
+        dropna: bool,
+    },
+    Pivot {
+        index: Vec<String>,
+        header: Vec<String>,
+        values: String,
+        agg: Agg,
+        fill_value: Option<f64>,
+        margins: bool,
+    },
+    Melt {
+        id_vars: Vec<String>,
+        value_vars: Vec<String>,
+        var_name: String,
+        value_name: String,
+    },
+    Concat {
+        num_frames: usize,
+        axis: u8,
+        ignore_index: bool,
+    },
+    DropNa {
+        how_all: bool,
+        subset: Option<Vec<String>>,
+    },
+    FillNa {
+        value: String,
+    },
+    JsonNormalize {
+        record_path: Option<Vec<String>>,
+    },
+}
+
+/// One instrumented operator invocation: the paper's unit of training data.
+/// Carries full input tables, all parameters, and output identity.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct OpInvocation {
+    pub notebook_id: String,
+    pub dataset_group: String,
+    pub cell_index: usize,
+    pub op: OpKind,
+    /// Full dumps of the input frames, in call order.
+    pub inputs: Vec<DataFrame>,
+    pub params: OpParams,
+    pub input_hashes: Vec<u64>,
+    pub output_hash: u64,
+    pub output_rows: usize,
+    pub output_cols: usize,
+}
+
+/// Why a cell (and hence its notebook) failed to replay.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ReplayOutcome {
+    Success,
+    /// A data file could not be resolved by any repair strategy.
+    MissingFile(String),
+    /// An imported package is absent and not installable.
+    MissingPackage(String),
+    /// The cell exceeded the execution budget (the paper's 5-minute
+    /// timeout, modelled as a row-processing budget).
+    Timeout,
+    /// The operator itself failed (schema mismatch etc.).
+    ExecutionError(String),
+}
+
+/// The replay result for one notebook.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ReplayReport {
+    pub notebook_id: String,
+    pub dataset_group: String,
+    pub outcome: ReplayOutcome,
+    /// Cells successfully executed before failure (== all cells on success).
+    pub cells_executed: usize,
+    /// Instrumented invocations from successfully executed cells.
+    pub invocations: Vec<OpInvocation>,
+    pub flow: FlowGraph,
+    /// Packages installed on demand while replaying.
+    pub packages_installed: Vec<String>,
+    /// Files recovered via basename search / URLs / the dataset API.
+    pub files_recovered: Vec<String>,
+}
+
+/// Engine configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ReplayConfig {
+    /// Total rows an operator may process per cell before the simulated
+    /// timeout fires.
+    pub cell_row_budget: usize,
+    /// Maximum repair-and-retry attempts per cell.
+    pub max_retries: usize,
+}
+
+impl Default for ReplayConfig {
+    fn default() -> Self {
+        ReplayConfig { cell_row_budget: 2_000_000, max_retries: 8 }
+    }
+}
+
+/// The replay engine: holds the package registry (what `pip install` can
+/// see) and the external dataset repository.
+pub struct ReplayEngine {
+    config: ReplayConfig,
+    /// Packages `pip install` can resolve.
+    pub package_registry: HashSet<String>,
+    /// Packages pre-installed in the base environment.
+    pub preinstalled: HashSet<String>,
+    pub repository: DatasetRepository,
+}
+
+impl ReplayEngine {
+    pub fn new(repository: DatasetRepository) -> Self {
+        let preinstalled: HashSet<String> =
+            ["pandas", "numpy", "json"].iter().map(|s| s.to_string()).collect();
+        let package_registry: HashSet<String> = [
+            "pandas", "numpy", "json", "matplotlib", "seaborn", "sklearn",
+            "scipy", "statsmodels", "xgboost",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        ReplayEngine {
+            config: ReplayConfig::default(),
+            package_registry,
+            preinstalled,
+            repository,
+        }
+    }
+
+    pub fn with_config(mut self, config: ReplayConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Replay one notebook end to end.
+    pub fn replay(&self, nb: &Notebook) -> ReplayReport {
+        let mut env = Env {
+            vars: HashMap::new(),
+            installed: self.preinstalled.clone(),
+            files: nb.repo_files.clone(),
+        };
+        let mut report = ReplayReport {
+            notebook_id: nb.id.clone(),
+            dataset_group: nb.dataset_group.clone(),
+            outcome: ReplayOutcome::Success,
+            cells_executed: 0,
+            invocations: Vec::new(),
+            flow: FlowGraph::new(),
+            packages_installed: Vec::new(),
+            files_recovered: Vec::new(),
+        };
+
+        for (cell_idx, _cell) in nb.cells.iter().enumerate() {
+            let mut attempts = 0;
+            loop {
+                attempts += 1;
+                // Each attempt runs against a snapshot so failed partial
+                // execution does not leak state or log spurious invocations.
+                let mut trial_env = env.clone();
+                let mut trial_log: Vec<OpInvocation> = Vec::new();
+                let mut trial_flow: Vec<(OpKind, Vec<u64>, u64)> = Vec::new();
+                let mut budget = self.config.cell_row_budget;
+
+                let result = self.run_cell(
+                    nb,
+                    cell_idx,
+                    &mut trial_env,
+                    &mut trial_log,
+                    &mut trial_flow,
+                    &mut budget,
+                );
+                match result {
+                    Ok(()) => {
+                        env = trial_env;
+                        report.invocations.extend(trial_log);
+                        for (op, ins, out) in trial_flow {
+                            report.flow.record(op, ins, out);
+                        }
+                        report.cells_executed += 1;
+                        break;
+                    }
+                    Err(err) if attempts <= self.config.max_retries => {
+                        // §3.2: parse the error message and attempt repair.
+                        if let Some(pkg) = parse_missing_package(&err) {
+                            if self.package_registry.contains(&pkg) {
+                                env.installed.insert(pkg.clone());
+                                report.packages_installed.push(pkg);
+                                continue;
+                            }
+                            report.outcome = ReplayOutcome::MissingPackage(pkg);
+                            return report;
+                        }
+                        if let Some(path) = parse_missing_file(&err) {
+                            match self.resolve_file(&path, nb, cell_idx, &env) {
+                                Some((resolved_name, content)) => {
+                                    env.files.insert(resolved_name.clone(), content);
+                                    report.files_recovered.push(resolved_name);
+                                    continue;
+                                }
+                                None => {
+                                    report.outcome = ReplayOutcome::MissingFile(path);
+                                    return report;
+                                }
+                            }
+                        }
+                        if err == "timeout" {
+                            report.outcome = ReplayOutcome::Timeout;
+                            return report;
+                        }
+                        report.outcome = ReplayOutcome::ExecutionError(err);
+                        return report;
+                    }
+                    Err(err) => {
+                        report.outcome = ReplayOutcome::ExecutionError(format!(
+                            "retries exhausted: {err}"
+                        ));
+                        return report;
+                    }
+                }
+            }
+        }
+        report
+    }
+
+    /// Resolve a missing data file with the paper's three strategies:
+    /// (1) basename search in the repository, (2) URLs in adjacent
+    /// markdown, (3) the Kaggle-style dataset API.
+    fn resolve_file(
+        &self,
+        path: &str,
+        nb: &Notebook,
+        cell_idx: usize,
+        env: &Env,
+    ) -> Option<(String, String)> {
+        let target = basename(path);
+        // (1) Search the repo by file name, ignoring the bogus directory.
+        let mut repo_paths: Vec<&String> = env.files.keys().collect();
+        repo_paths.sort();
+        for p in repo_paths {
+            if basename(p) == target {
+                return Some((path.to_string(), env.files[p].clone()));
+            }
+        }
+        // (2) URLs in markdown adjacent to the failing cell.
+        for probe in [cell_idx, cell_idx.saturating_sub(1)] {
+            if let Some(md) = nb.cells.get(probe).and_then(|c| c.markdown.as_ref()) {
+                for url in extract_urls(md) {
+                    if let Some(content) = self.repository.fetch_url(url) {
+                        return Some((path.to_string(), content.to_string()));
+                    }
+                }
+            }
+        }
+        // (3) Kaggle dataset API by basename.
+        self.repository
+            .find_file_by_name(&target)
+            .map(|content| (path.to_string(), content.to_string()))
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn run_cell(
+        &self,
+        nb: &Notebook,
+        cell_idx: usize,
+        env: &mut Env,
+        log: &mut Vec<OpInvocation>,
+        flow: &mut Vec<(OpKind, Vec<u64>, u64)>,
+        budget: &mut usize,
+    ) -> Result<(), String> {
+        let cell = &nb.cells[cell_idx];
+        for stmt in &cell.ast {
+            match stmt {
+                Stmt::Import { package } => {
+                    if !env.installed.contains(package) {
+                        return Err(format!(
+                            "ModuleNotFoundError: No module named '{package}'"
+                        ));
+                    }
+                }
+                Stmt::Assign { var, expr } => {
+                    let frame = self.eval(nb, cell_idx, expr, env, log, flow, budget)?;
+                    env.vars.insert(var.clone(), frame);
+                }
+                Stmt::Inspect { expr } => {
+                    self.eval(nb, cell_idx, expr, env, log, flow, budget)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn eval(
+        &self,
+        nb: &Notebook,
+        cell_idx: usize,
+        expr: &Expr,
+        env: &mut Env,
+        log: &mut Vec<OpInvocation>,
+        flow: &mut Vec<(OpKind, Vec<u64>, u64)>,
+        budget: &mut usize,
+    ) -> Result<DataFrame, String> {
+        // Gather input frames first (shared error for unknown variables).
+        let mut inputs: Vec<DataFrame> = Vec::new();
+        for v in expr_inputs(expr) {
+            match env.vars.get(v) {
+                Some(f) => inputs.push(f.clone()),
+                None => return Err(format!("NameError: name '{v}' is not defined")),
+            }
+        }
+        let in_rows: usize = inputs.iter().map(DataFrame::num_rows).sum();
+        if in_rows > *budget {
+            return Err("timeout".into());
+        }
+        *budget -= in_rows;
+
+        let (op, params, output): (Option<OpKind>, Option<OpParams>, DataFrame) = match expr {
+            Expr::ReadCsv { path } => {
+                let content = env
+                    .files
+                    .get(path)
+                    .ok_or_else(|| format!("FileNotFoundError: No such file: '{path}'"))?;
+                let df = io::read_csv_str(content).map_err(|e| e.to_string())?;
+                (None, None, df)
+            }
+            Expr::JsonNormalize { path, record_path } => {
+                let content = env
+                    .files
+                    .get(path)
+                    .ok_or_else(|| format!("FileNotFoundError: No such file: '{path}'"))?;
+                let doc: serde_json::Value =
+                    serde_json::from_str(content).map_err(|e| e.to_string())?;
+                let rp: Option<Vec<&str>> = record_path
+                    .as_ref()
+                    .map(|p| p.iter().map(String::as_str).collect());
+                let df = ops::json_normalize(&doc, rp.as_deref())
+                    .map_err(|e| e.to_string())?;
+                (
+                    Some(OpKind::JsonNormalize),
+                    Some(OpParams::JsonNormalize { record_path: record_path.clone() }),
+                    df,
+                )
+            }
+            Expr::Merge { left_on, right_on, how, .. } => {
+                let lo: Vec<&str> = left_on.iter().map(String::as_str).collect();
+                let ro: Vec<&str> = right_on.iter().map(String::as_str).collect();
+                let df = ops::merge(&inputs[0], &inputs[1], &lo, &ro, *how)
+                    .map_err(|e| e.to_string())?;
+                (
+                    Some(OpKind::Merge),
+                    Some(OpParams::Merge {
+                        left_on: left_on.clone(),
+                        right_on: right_on.clone(),
+                        how: *how,
+                        suffixes: ("_x".into(), "_y".into()),
+                        sort: false,
+                        indicator: false,
+                    }),
+                    df,
+                )
+            }
+            Expr::GroupBy { keys, aggs, .. } => {
+                let k: Vec<&str> = keys.iter().map(String::as_str).collect();
+                let a: Vec<(&str, Agg)> =
+                    aggs.iter().map(|(c, g)| (c.as_str(), *g)).collect();
+                let df = ops::groupby(&inputs[0], &k, &a).map_err(|e| e.to_string())?;
+                (
+                    Some(OpKind::GroupBy),
+                    Some(OpParams::GroupBy {
+                        keys: keys.clone(),
+                        aggs: aggs.clone(),
+                        sort: false,
+                        dropna: true,
+                    }),
+                    df,
+                )
+            }
+            Expr::Pivot { index, header, values, agg, .. } => {
+                let i: Vec<&str> = index.iter().map(String::as_str).collect();
+                let h: Vec<&str> = header.iter().map(String::as_str).collect();
+                let df = ops::pivot_table(&inputs[0], &i, &h, values, *agg)
+                    .map_err(|e| e.to_string())?;
+                (
+                    Some(OpKind::Pivot),
+                    Some(OpParams::Pivot {
+                        index: index.clone(),
+                        header: header.clone(),
+                        values: values.clone(),
+                        agg: *agg,
+                        fill_value: None,
+                        margins: false,
+                    }),
+                    df,
+                )
+            }
+            Expr::Melt { id_vars, value_vars, var_name, value_name, .. } => {
+                let iv: Vec<&str> = id_vars.iter().map(String::as_str).collect();
+                let vv: Vec<&str> = value_vars.iter().map(String::as_str).collect();
+                let df = ops::melt(&inputs[0], &iv, &vv, var_name, value_name)
+                    .map_err(|e| e.to_string())?;
+                (
+                    Some(OpKind::Melt),
+                    Some(OpParams::Melt {
+                        id_vars: id_vars.clone(),
+                        value_vars: value_vars.clone(),
+                        var_name: var_name.clone(),
+                        value_name: value_name.clone(),
+                    }),
+                    df,
+                )
+            }
+            Expr::Concat { frames } => {
+                let refs: Vec<&DataFrame> = inputs.iter().collect();
+                let df = ops::concat(&refs).map_err(|e| e.to_string())?;
+                (
+                    Some(OpKind::Concat),
+                    Some(OpParams::Concat {
+                        num_frames: frames.len(),
+                        axis: 0,
+                        ignore_index: true,
+                    }),
+                    df,
+                )
+            }
+            Expr::DropNa { how_all, subset, .. } => {
+                let how = if *how_all { DropHow::All } else { DropHow::Any };
+                let sub: Option<Vec<&str>> =
+                    subset.as_ref().map(|s| s.iter().map(String::as_str).collect());
+                let df = ops::dropna(&inputs[0], how, sub.as_deref())
+                    .map_err(|e| e.to_string())?;
+                (
+                    Some(OpKind::DropNa),
+                    Some(OpParams::DropNa { how_all: *how_all, subset: subset.clone() }),
+                    df,
+                )
+            }
+            Expr::FillNa { value, .. } => {
+                let v = match value {
+                    FillValue::Int(i) => Value::Int(*i),
+                    FillValue::Float(f) => Value::Float(*f),
+                    FillValue::Str(s) => Value::Str(s.clone()),
+                };
+                let df =
+                    ops::fillna_all(&inputs[0], &v).map_err(|e| e.to_string())?;
+                (
+                    Some(OpKind::FillNa),
+                    Some(OpParams::FillNa { value: v.to_string() }),
+                    df,
+                )
+            }
+            Expr::Var(_) => (None, None, inputs[0].clone()),
+        };
+
+        if let (Some(op), Some(params)) = (op, params) {
+            let input_hashes: Vec<u64> =
+                inputs.iter().map(DataFrame::content_hash).collect();
+            let output_hash = output.content_hash();
+            flow.push((op, input_hashes.clone(), output_hash));
+            log.push(OpInvocation {
+                notebook_id: nb.id.clone(),
+                dataset_group: nb.dataset_group.clone(),
+                cell_index: cell_idx,
+                op,
+                inputs,
+                params,
+                input_hashes,
+                output_hash,
+                output_rows: output.num_rows(),
+                output_cols: output.num_columns(),
+            });
+        }
+        Ok(output)
+    }
+}
+
+/// Environment state threaded through cell execution.
+#[derive(Clone)]
+struct Env {
+    vars: HashMap<String, DataFrame>,
+    installed: HashSet<String>,
+    /// Resolvable file paths → contents (repo clone + recovered downloads).
+    files: HashMap<String, String>,
+}
+
+/// Parse `ModuleNotFoundError: No module named 'pkg'`.
+pub fn parse_missing_package(err: &str) -> Option<String> {
+    let marker = "No module named '";
+    let start = err.find(marker)? + marker.len();
+    let rest = &err[start..];
+    let end = rest.find('\'')?;
+    Some(rest[..end].to_string())
+}
+
+/// Parse `FileNotFoundError: No such file: 'path'`.
+pub fn parse_missing_file(err: &str) -> Option<String> {
+    let marker = "No such file: '";
+    let start = err.find(marker)? + marker.len();
+    let rest = &err[start..];
+    let end = rest.find('\'')?;
+    Some(rest[..end].to_string())
+}
+
+/// The basename of a path in either Unix or Windows notation (authors
+/// hard-code both, §3.2).
+pub fn basename(path: &str) -> String {
+    path.rsplit(['/', '\\']).next().unwrap_or(path).to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lang::Stmt;
+    use crate::notebook::{Cell, Notebook};
+
+    fn csv_a() -> &'static str {
+        "k,v\n1,10\n2,20\n3,30\n"
+    }
+
+    fn read_nb(path: &str, file_at: Option<&str>) -> Notebook {
+        let mut nb = Notebook::new("t", "g");
+        if let Some(p) = file_at {
+            nb.add_file(p, csv_a());
+        }
+        nb.push_cell(Cell::code(vec![Stmt::Assign {
+            var: "df".into(),
+            expr: Expr::ReadCsv { path: path.into() },
+        }]));
+        nb
+    }
+
+    #[test]
+    fn direct_path_replays() {
+        let engine = ReplayEngine::new(DatasetRepository::new());
+        let report = engine.replay(&read_nb("data.csv", Some("data.csv")));
+        assert_eq!(report.outcome, ReplayOutcome::Success);
+        assert_eq!(report.cells_executed, 1);
+    }
+
+    #[test]
+    fn absolute_path_resolved_by_basename_search() {
+        // The §3.2 case: a hard-coded Windows path, file present in repo.
+        let engine = ReplayEngine::new(DatasetRepository::new());
+        let nb = read_nb("D:\\my_project\\data.csv", Some("input/data.csv"));
+        let report = engine.replay(&nb);
+        assert_eq!(report.outcome, ReplayOutcome::Success);
+        assert_eq!(report.files_recovered.len(), 1);
+    }
+
+    #[test]
+    fn url_in_markdown_recovers_file() {
+        let mut repo = DatasetRepository::new();
+        repo.add_url("https://data.example.com/data.csv", csv_a());
+        let engine = ReplayEngine::new(repo);
+        let mut nb = read_nb("data.csv", None);
+        nb.cells[0].markdown =
+            Some("Download from https://data.example.com/data.csv first".into());
+        let report = engine.replay(&nb);
+        assert_eq!(report.outcome, ReplayOutcome::Success);
+    }
+
+    #[test]
+    fn kaggle_repository_recovers_file() {
+        let mut repo = DatasetRepository::new();
+        repo.add_dataset_file("someone/numbers", "data.csv", csv_a());
+        let engine = ReplayEngine::new(repo);
+        let report = engine.replay(&read_nb("data.csv", None));
+        assert_eq!(report.outcome, ReplayOutcome::Success);
+    }
+
+    #[test]
+    fn unresolvable_file_fails() {
+        let engine = ReplayEngine::new(DatasetRepository::new());
+        let report = engine.replay(&read_nb("secret.csv", None));
+        assert_eq!(report.outcome, ReplayOutcome::MissingFile("secret.csv".into()));
+        assert_eq!(report.cells_executed, 0);
+    }
+
+    #[test]
+    fn installable_package_is_installed_and_cell_retried() {
+        let engine = ReplayEngine::new(DatasetRepository::new());
+        let mut nb = Notebook::new("t", "g");
+        nb.add_file("data.csv", csv_a());
+        nb.push_cell(Cell::code(vec![
+            Stmt::Import { package: "seaborn".into() },
+            Stmt::Assign {
+                var: "df".into(),
+                expr: Expr::ReadCsv { path: "data.csv".into() },
+            },
+        ]));
+        let report = engine.replay(&nb);
+        assert_eq!(report.outcome, ReplayOutcome::Success);
+        assert_eq!(report.packages_installed, vec!["seaborn".to_string()]);
+    }
+
+    #[test]
+    fn unknown_package_fails_notebook() {
+        let engine = ReplayEngine::new(DatasetRepository::new());
+        let mut nb = Notebook::new("t", "g");
+        nb.push_cell(Cell::code(vec![Stmt::Import {
+            package: "proprietary_internal_lib".into(),
+        }]));
+        let report = engine.replay(&nb);
+        assert_eq!(
+            report.outcome,
+            ReplayOutcome::MissingPackage("proprietary_internal_lib".into())
+        );
+    }
+
+    #[test]
+    fn merge_invocation_is_instrumented_with_full_params() {
+        let engine = ReplayEngine::new(DatasetRepository::new());
+        let mut nb = Notebook::new("t", "g");
+        nb.add_file("l.csv", "k,a\n1,x\n2,y\n3,z\n4,w\n5,q\n");
+        nb.add_file("r.csv", "k,b\n1,p\n2,q\n3,r\n4,s\n5,t\n");
+        nb.push_cell(Cell::code(vec![
+            Stmt::Assign { var: "l".into(), expr: Expr::ReadCsv { path: "l.csv".into() } },
+            Stmt::Assign { var: "r".into(), expr: Expr::ReadCsv { path: "r.csv".into() } },
+            Stmt::Assign {
+                var: "m".into(),
+                expr: Expr::Merge {
+                    left: "l".into(),
+                    right: "r".into(),
+                    left_on: vec!["k".into()],
+                    right_on: vec!["k".into()],
+                    how: JoinType::Left,
+                },
+            },
+        ]));
+        let report = engine.replay(&nb);
+        assert_eq!(report.outcome, ReplayOutcome::Success);
+        assert_eq!(report.invocations.len(), 1);
+        let inv = &report.invocations[0];
+        assert_eq!(inv.op, OpKind::Merge);
+        assert_eq!(inv.inputs.len(), 2);
+        assert_eq!(inv.inputs[0].num_rows(), 5);
+        match &inv.params {
+            OpParams::Merge { how, left_on, suffixes, .. } => {
+                assert_eq!(*how, JoinType::Left);
+                assert_eq!(left_on, &vec!["k".to_string()]);
+                assert_eq!(suffixes.0, "_x"); // implicit default logged
+            }
+            other => panic!("wrong params {other:?}"),
+        }
+        assert_eq!(report.flow.op_sequence(), vec![OpKind::Merge]);
+    }
+
+    #[test]
+    fn failed_cell_leaves_no_partial_invocations() {
+        let engine = ReplayEngine::new(DatasetRepository::new());
+        let mut nb = Notebook::new("t", "g");
+        nb.add_file("l.csv", "k,a\n1,x\n");
+        nb.push_cell(Cell::code(vec![
+            Stmt::Assign { var: "l".into(), expr: Expr::ReadCsv { path: "l.csv".into() } },
+            // groupby on a column that does not exist.
+            Stmt::Assign {
+                var: "g".into(),
+                expr: Expr::GroupBy {
+                    frame: "l".into(),
+                    keys: vec!["missing".into()],
+                    aggs: vec![("a".into(), Agg::Count)],
+                },
+            },
+        ]));
+        let report = engine.replay(&nb);
+        assert!(matches!(report.outcome, ReplayOutcome::ExecutionError(_)));
+        assert!(report.invocations.is_empty());
+        assert_eq!(report.cells_executed, 0);
+    }
+
+    #[test]
+    fn timeout_fires_on_budget_exhaustion() {
+        let engine = ReplayEngine::new(DatasetRepository::new())
+            .with_config(ReplayConfig { cell_row_budget: 2, max_retries: 2 });
+        let mut nb = Notebook::new("t", "g");
+        nb.add_file("l.csv", csv_a());
+        nb.push_cell(Cell::code(vec![
+            Stmt::Assign { var: "l".into(), expr: Expr::ReadCsv { path: "l.csv".into() } },
+            Stmt::Assign {
+                var: "d".into(),
+                expr: Expr::DropNa { frame: "l".into(), how_all: false, subset: None },
+            },
+        ]));
+        assert_eq!(engine.replay(&nb).outcome, ReplayOutcome::Timeout);
+    }
+
+    #[test]
+    fn error_message_parsers() {
+        assert_eq!(
+            parse_missing_package("ModuleNotFoundError: No module named 'seaborn'"),
+            Some("seaborn".into())
+        );
+        assert_eq!(parse_missing_package("SyntaxError"), None);
+        assert_eq!(
+            parse_missing_file("FileNotFoundError: No such file: 'a/b.csv'"),
+            Some("a/b.csv".into())
+        );
+        assert_eq!(basename("D:\\x\\y.csv"), "y.csv");
+        assert_eq!(basename("a/b/c.csv"), "c.csv");
+        assert_eq!(basename("plain.csv"), "plain.csv");
+    }
+
+    #[test]
+    fn undefined_variable_is_execution_error() {
+        let engine = ReplayEngine::new(DatasetRepository::new());
+        let mut nb = Notebook::new("t", "g");
+        nb.push_cell(Cell::code(vec![Stmt::Assign {
+            var: "x".into(),
+            expr: Expr::DropNa { frame: "ghost".into(), how_all: false, subset: None },
+        }]));
+        let report = engine.replay(&nb);
+        assert!(matches!(report.outcome, ReplayOutcome::ExecutionError(m) if m.contains("NameError")));
+    }
+}

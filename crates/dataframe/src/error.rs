@@ -1,0 +1,61 @@
+//! Error type shared by all DataFrame operations.
+
+use std::fmt;
+
+/// Convenience alias used across the crate.
+pub type Result<T> = std::result::Result<T, DataFrameError>;
+
+/// Errors produced by DataFrame construction, operators, and I/O.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DataFrameError {
+    /// A referenced column does not exist in the frame.
+    ColumnNotFound { name: String },
+    /// Two columns in one frame share a name where uniqueness is required.
+    DuplicateColumn { name: String },
+    /// Columns passed to a constructor have differing lengths.
+    LengthMismatch { expected: usize, got: usize, column: String },
+    /// An operator was invoked with inconsistent parameters
+    /// (e.g. `left_on`/`right_on` of different arity).
+    InvalidArgument(String),
+    /// Malformed input encountered while parsing CSV or JSON.
+    Parse { line: usize, message: String },
+    /// The requested aggregation cannot be applied to the column's dtype.
+    TypeError(String),
+}
+
+impl fmt::Display for DataFrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataFrameError::ColumnNotFound { name } => {
+                write!(f, "column not found: {name:?}")
+            }
+            DataFrameError::DuplicateColumn { name } => {
+                write!(f, "duplicate column name: {name:?}")
+            }
+            DataFrameError::LengthMismatch { expected, got, column } => write!(
+                f,
+                "column {column:?} has {got} rows, expected {expected}"
+            ),
+            DataFrameError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+            DataFrameError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+            DataFrameError::TypeError(msg) => write!(f, "type error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DataFrameError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = DataFrameError::ColumnNotFound { name: "x".into() };
+        assert!(e.to_string().contains("column not found"));
+        let e = DataFrameError::LengthMismatch { expected: 3, got: 2, column: "c".into() };
+        assert!(e.to_string().contains("expected 3"));
+    }
+}

@@ -1,0 +1,265 @@
+//! A small RFC-4180-ish CSV reader/writer with type inference.
+//!
+//! Notebook replay resolves data files (§3.2 of the paper) and loads them
+//! through this reader, inferring int/float/bool/date/str per column the
+//! way `pd.read_csv` does.
+
+use crate::column::Column;
+use crate::error::{DataFrameError, Result};
+use crate::frame::DataFrame;
+use crate::value::{DType, Value};
+
+/// Parse CSV text (first row = header) into a [`DataFrame`].
+///
+/// Supports quoted fields with embedded commas, quotes (doubled), and
+/// newlines. Each column's dtype is inferred from its cells; a column with
+/// mixed incompatible types falls back to strings for *all* its cells so the
+/// column is homogeneous.
+pub fn read_csv_str(text: &str) -> Result<DataFrame> {
+    let rows = parse_rows(text)?;
+    let mut iter = rows.into_iter();
+    let header = match iter.next() {
+        Some(h) => h,
+        None => return Ok(DataFrame::empty()),
+    };
+    let ncols = header.len();
+    let mut raw_cols: Vec<Vec<String>> = vec![Vec::new(); ncols];
+    for (line, row) in iter.enumerate() {
+        if row.len() != ncols {
+            return Err(DataFrameError::Parse {
+                line: line + 2,
+                message: format!("expected {ncols} fields, found {}", row.len()),
+            });
+        }
+        for (c, cell) in row.into_iter().enumerate() {
+            raw_cols[c].push(cell);
+        }
+    }
+
+    let mut columns = Vec::with_capacity(ncols);
+    for (name, raw) in header.into_iter().zip(raw_cols) {
+        let inferred: Vec<Value> = raw.iter().map(|s| Value::infer_from_str(s)).collect();
+        // Homogenise: if inference produced an incompatible mix, keep strings.
+        let mut dtype = DType::Null;
+        let mut mixed = false;
+        for v in &inferred {
+            if v.is_null() {
+                continue;
+            }
+            dtype = match dtype.unify(v.dtype()) {
+                Some(u) => u,
+                None => {
+                    mixed = true;
+                    break;
+                }
+            };
+        }
+        let values = if mixed {
+            raw.iter()
+                .map(|s| {
+                    let t = s.trim();
+                    if t.is_empty() {
+                        Value::Null
+                    } else {
+                        Value::Str(t.to_string())
+                    }
+                })
+                .collect()
+        } else {
+            inferred
+        };
+        columns.push(Column::new(name, values));
+    }
+    DataFrame::new(columns)
+}
+
+/// Serialise a frame to CSV text (header + rows), quoting where needed.
+pub fn write_csv_string(df: &DataFrame) -> String {
+    let mut out = String::new();
+    let names: Vec<String> = df
+        .column_names()
+        .iter()
+        .map(|n| quote_if_needed(n))
+        .collect();
+    out.push_str(&names.join(","));
+    out.push('\n');
+    for i in 0..df.num_rows() {
+        let cells: Vec<String> = df
+            .columns()
+            .iter()
+            .map(|c| quote_if_needed(&c.get(i).render()))
+            .collect();
+        out.push_str(&cells.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+fn quote_if_needed(s: &str) -> String {
+    if s.contains(',') || s.contains('"') || s.contains('\n') {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+/// Split CSV text into rows of unescaped fields.
+fn parse_rows(text: &str) -> Result<Vec<Vec<String>>> {
+    let mut rows = Vec::new();
+    let mut row: Vec<String> = Vec::new();
+    let mut field = String::new();
+    let mut in_quotes = false;
+    let mut chars = text.chars().peekable();
+    let mut line = 1usize;
+    let mut any = false;
+
+    while let Some(ch) = chars.next() {
+        any = true;
+        if in_quotes {
+            match ch {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        field.push('"');
+                    } else {
+                        in_quotes = false;
+                    }
+                }
+                '\n' => {
+                    line += 1;
+                    field.push('\n');
+                }
+                c => field.push(c),
+            }
+        } else {
+            match ch {
+                '"' => {
+                    if field.is_empty() {
+                        in_quotes = true;
+                    } else {
+                        return Err(DataFrameError::Parse {
+                            line,
+                            message: "unexpected quote inside unquoted field".into(),
+                        });
+                    }
+                }
+                ',' => {
+                    row.push(std::mem::take(&mut field));
+                }
+                '\r' => {}
+                '\n' => {
+                    line += 1;
+                    row.push(std::mem::take(&mut field));
+                    rows.push(std::mem::take(&mut row));
+                }
+                c => field.push(c),
+            }
+        }
+    }
+    if in_quotes {
+        return Err(DataFrameError::Parse {
+            line,
+            message: "unterminated quoted field".into(),
+        });
+    }
+    if any && (!field.is_empty() || !row.is_empty()) {
+        row.push(field);
+        rows.push(row);
+    }
+    Ok(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_roundtrip() {
+        let csv = "id,name,score\n1,ada,9.5\n2,bob,8.0\n";
+        let df = read_csv_str(csv).unwrap();
+        assert_eq!(df.num_rows(), 2);
+        assert_eq!(df.schema().field(0).dtype, DType::Int);
+        assert_eq!(df.schema().field(2).dtype, DType::Float);
+        let back = write_csv_string(&df);
+        let df2 = read_csv_str(&back).unwrap();
+        assert_eq!(df.content_hash(), df2.content_hash());
+    }
+
+    #[test]
+    fn quoted_fields_with_commas_and_quotes() {
+        let csv = "title,author\n\"Dune, Part 1\",\"Frank \"\"F\"\" Herbert\"\n";
+        let df = read_csv_str(csv).unwrap();
+        assert_eq!(
+            df.column("title").unwrap().get(0),
+            &Value::Str("Dune, Part 1".into())
+        );
+        assert_eq!(
+            df.column("author").unwrap().get(0),
+            &Value::Str("Frank \"F\" Herbert".into())
+        );
+    }
+
+    #[test]
+    fn embedded_newline_in_quotes() {
+        let csv = "note\n\"line1\nline2\"\n";
+        let df = read_csv_str(csv).unwrap();
+        assert_eq!(df.num_rows(), 1);
+        assert_eq!(
+            df.column("note").unwrap().get(0),
+            &Value::Str("line1\nline2".into())
+        );
+    }
+
+    #[test]
+    fn empty_cells_become_null() {
+        let csv = "a,b\n1,\n,2\n";
+        let df = read_csv_str(csv).unwrap();
+        assert_eq!(df.column("a").unwrap().null_count(), 1);
+        assert_eq!(df.column("b").unwrap().null_count(), 1);
+    }
+
+    #[test]
+    fn mixed_type_column_degrades_to_all_strings() {
+        let csv = "v\n1\nabc\n2\n";
+        let df = read_csv_str(csv).unwrap();
+        assert_eq!(df.schema().field(0).dtype, DType::Str);
+        // Even the numeric-looking cells stay strings for homogeneity.
+        assert_eq!(df.column("v").unwrap().get(0), &Value::Str("1".into()));
+    }
+
+    #[test]
+    fn ragged_row_is_a_parse_error() {
+        let err = read_csv_str("a,b\n1\n").unwrap_err();
+        assert!(matches!(err, DataFrameError::Parse { line: 2, .. }));
+    }
+
+    #[test]
+    fn date_inference() {
+        let df = read_csv_str("d\n2020-05-01\n2020-05-02\n").unwrap();
+        assert_eq!(df.schema().field(0).dtype, DType::Date);
+    }
+
+    #[test]
+    fn crlf_line_endings() {
+        let df = read_csv_str("a,b\r\n1,2\r\n").unwrap();
+        assert_eq!(df.num_rows(), 1);
+        assert_eq!(df.column("b").unwrap().get(0), &Value::Int(2));
+    }
+
+    #[test]
+    fn missing_trailing_newline() {
+        let df = read_csv_str("a\n1").unwrap();
+        assert_eq!(df.num_rows(), 1);
+    }
+
+    #[test]
+    fn empty_input_is_empty_frame() {
+        let df = read_csv_str("").unwrap();
+        assert_eq!(df.num_columns(), 0);
+    }
+
+    #[test]
+    fn unterminated_quote_errors() {
+        assert!(read_csv_str("a\n\"oops\n").is_err());
+    }
+}

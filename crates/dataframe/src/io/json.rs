@@ -1,0 +1,33 @@
+//! JSON record reader (thin wrapper over `json_normalize`).
+
+use crate::error::{DataFrameError, Result};
+use crate::frame::DataFrame;
+use crate::ops::json_normalize;
+
+/// Parse a JSON document (array of objects, or single object) into a flat
+/// [`DataFrame`], flattening nested objects with dotted paths.
+pub fn read_json_records_str(text: &str) -> Result<DataFrame> {
+    let doc: serde_json::Value = serde_json::from_str(text).map_err(|e| {
+        DataFrameError::Parse { line: e.line(), message: e.to_string() }
+    })?;
+    json_normalize(&doc, None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    #[test]
+    fn reads_record_array() {
+        let df = read_json_records_str(r#"[{"a": 1}, {"a": 2}]"#).unwrap();
+        assert_eq!(df.num_rows(), 2);
+        assert_eq!(df.column("a").unwrap().get(1), &Value::Int(2));
+    }
+
+    #[test]
+    fn malformed_json_is_parse_error() {
+        let err = read_json_records_str("{not json").unwrap_err();
+        assert!(matches!(err, DataFrameError::Parse { .. }));
+    }
+}

@@ -1,0 +1,7 @@
+//! CSV and JSON readers/writers used by the replay environment.
+
+mod csv;
+mod json;
+
+pub use csv::{read_csv_str, write_csv_string};
+pub use json::read_json_records_str;

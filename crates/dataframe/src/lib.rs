@@ -1,0 +1,44 @@
+//! An in-memory columnar DataFrame engine.
+//!
+//! This crate is the table-manipulation substrate of the Auto-Suggest
+//! reproduction. The original system (Yan & He, SIGMOD 2020) replays Jupyter
+//! notebooks and instruments eight Pandas operators that consume or produce
+//! DataFrames: `merge`, `groupby`, `pivot_table`, `melt`, `concat`, `dropna`,
+//! `fillna`, and `json_normalize`. The replay pipeline in
+//! `autosuggest-corpus` executes notebook cells against this engine, so the
+//! operators here follow Pandas semantics for the behaviours the predictors
+//! observe: join types and key matching, group-key hashing, pivot aggregation
+//! and NULL fill, melt's key/value collapse, and null propagation.
+//!
+//! # Quick tour
+//!
+//! ```
+//! use autosuggest_dataframe::{DataFrame, Value, ops};
+//!
+//! let orders = DataFrame::from_columns(vec![
+//!     ("order_id", vec![1, 2, 3].into_iter().map(Value::Int).collect()),
+//!     ("customer", vec!["ada", "bob", "ada"].into_iter().map(Value::from).collect()),
+//!     ("amount", vec![10.0, 20.0, 5.0].into_iter().map(Value::Float).collect()),
+//! ]).unwrap();
+//!
+//! let by_customer = ops::groupby(
+//!     &orders,
+//!     &["customer"],
+//!     &[("amount", ops::Agg::Sum)],
+//! ).unwrap();
+//! assert_eq!(by_customer.num_rows(), 2);
+//! ```
+
+pub mod column;
+pub mod error;
+pub mod frame;
+pub mod io;
+pub mod ops;
+pub mod schema;
+pub mod value;
+
+pub use column::Column;
+pub use error::{DataFrameError, Result};
+pub use frame::DataFrame;
+pub use schema::{Field, Schema};
+pub use value::{DType, Value};

@@ -1,0 +1,138 @@
+//! `concat`: stack frames vertically (rows) or horizontally (columns).
+
+use crate::column::Column;
+use crate::error::{DataFrameError, Result};
+use crate::frame::DataFrame;
+use crate::value::Value;
+
+/// Vertically concatenate frames (`pd.concat(axis=0)`).
+///
+/// The output schema is the union of input schemas in first-appearance
+/// order; frames lacking a column contribute NULLs (Pandas' outer-join
+/// column alignment).
+pub fn concat(frames: &[&DataFrame]) -> Result<DataFrame> {
+    if frames.is_empty() {
+        return Err(DataFrameError::InvalidArgument(
+            "concat requires at least one frame".into(),
+        ));
+    }
+    let mut names: Vec<String> = Vec::new();
+    for f in frames {
+        for c in f.columns() {
+            if !names.iter().any(|n| n == c.name()) {
+                names.push(c.name().to_string());
+            }
+        }
+    }
+    let total_rows: usize = frames.iter().map(|f| f.num_rows()).sum();
+    let mut out_cols: Vec<Column> = names
+        .iter()
+        .map(|n| Column::new(n.clone(), Vec::with_capacity(total_rows)))
+        .collect();
+    for f in frames {
+        for (out, name) in out_cols.iter_mut().zip(&names) {
+            match f.column(name) {
+                Ok(src) => out.values_mut().extend(src.values().iter().cloned()),
+                Err(_) => out
+                    .values_mut()
+                    .extend(std::iter::repeat_n(Value::Null, f.num_rows())),
+            }
+        }
+    }
+    DataFrame::new(out_cols)
+}
+
+/// Horizontally concatenate frames (`pd.concat(axis=1)`).
+///
+/// All frames must have the same row count; duplicate column names are
+/// disambiguated with a positional suffix, as replay needs every output
+/// column addressable.
+pub fn concat_columns(frames: &[&DataFrame]) -> Result<DataFrame> {
+    if frames.is_empty() {
+        return Err(DataFrameError::InvalidArgument(
+            "concat_columns requires at least one frame".into(),
+        ));
+    }
+    let rows = frames[0].num_rows();
+    for f in frames {
+        if f.num_rows() != rows {
+            return Err(DataFrameError::LengthMismatch {
+                expected: rows,
+                got: f.num_rows(),
+                column: "<frame>".into(),
+            });
+        }
+    }
+    let mut out_cols: Vec<Column> = Vec::new();
+    let mut seen = std::collections::HashSet::new();
+    for (fi, f) in frames.iter().enumerate() {
+        for c in f.columns() {
+            let mut name = c.name().to_string();
+            if !seen.insert(name.clone()) {
+                name = format!("{name}_{fi}");
+                seen.insert(name.clone());
+            }
+            let mut col = c.clone();
+            col.rename(name);
+            out_cols.push(col);
+        }
+    }
+    DataFrame::new(out_cols)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f1() -> DataFrame {
+        DataFrame::from_columns(vec![
+            ("a", vec![Value::Int(1), Value::Int(2)]),
+            ("b", vec![Value::Str("x".into()), Value::Str("y".into())]),
+        ])
+        .unwrap()
+    }
+
+    fn f2() -> DataFrame {
+        DataFrame::from_columns(vec![
+            ("a", vec![Value::Int(3)]),
+            ("c", vec![Value::Float(1.5)]),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn vertical_concat_unions_schemas() {
+        let out = concat(&[&f1(), &f2()]).unwrap();
+        assert_eq!(out.num_rows(), 3);
+        assert_eq!(out.column_names(), vec!["a", "b", "c"]);
+        assert_eq!(out.column("b").unwrap().get(2), &Value::Null);
+        assert_eq!(out.column("c").unwrap().get(0), &Value::Null);
+        assert_eq!(out.column("c").unwrap().get(2), &Value::Float(1.5));
+    }
+
+    #[test]
+    fn vertical_concat_same_schema_is_simple_stack() {
+        let out = concat(&[&f1(), &f1()]).unwrap();
+        assert_eq!(out.num_rows(), 4);
+        assert_eq!(out.num_columns(), 2);
+        assert_eq!(out.column("a").unwrap().get(2), &Value::Int(1));
+    }
+
+    #[test]
+    fn horizontal_concat_requires_equal_rows() {
+        assert!(concat_columns(&[&f1(), &f2()]).is_err());
+    }
+
+    #[test]
+    fn horizontal_concat_disambiguates_names() {
+        let out = concat_columns(&[&f1(), &f1()]).unwrap();
+        assert_eq!(out.num_columns(), 4);
+        assert_eq!(out.column_names(), vec!["a", "b", "a_1", "b_1"]);
+    }
+
+    #[test]
+    fn empty_input_rejected() {
+        assert!(concat(&[]).is_err());
+        assert!(concat_columns(&[]).is_err());
+    }
+}

@@ -1,0 +1,194 @@
+//! `json_normalize`: flatten nested JSON records into a flat table.
+
+use crate::column::Column;
+use crate::error::{DataFrameError, Result};
+use crate::frame::DataFrame;
+use crate::value::Value;
+use serde_json::Value as Json;
+use std::collections::BTreeMap;
+
+/// Flatten an array of JSON objects into a [`DataFrame`], following
+/// `pd.json_normalize`.
+///
+/// Nested objects are flattened with dotted paths (`user.address.city`);
+/// scalar arrays and nested object arrays are left as their JSON string
+/// rendering (Pandas keeps them as Python objects — a string is the closest
+/// tabular analogue). A `record_path` descends into a nested array before
+/// normalising, like the Pandas parameter of the same name.
+pub fn json_normalize(doc: &Json, record_path: Option<&[&str]>) -> Result<DataFrame> {
+    let mut records: Vec<&Json> = Vec::new();
+    match record_path {
+        None => collect_records(doc, &mut records)?,
+        Some(path) => {
+            let mut node = doc;
+            for key in path {
+                node = node.get(key).ok_or_else(|| DataFrameError::InvalidArgument(
+                    format!("record_path component {key:?} not found"),
+                ))?;
+            }
+            collect_records(node, &mut records)?;
+        }
+    }
+
+    // Flatten each record, accumulating the union of dotted paths in
+    // first-appearance order.
+    let mut col_order: Vec<String> = Vec::new();
+    let mut flat_rows: Vec<BTreeMap<String, Value>> = Vec::with_capacity(records.len());
+    for rec in &records {
+        let mut flat = BTreeMap::new();
+        flatten_into("", rec, &mut flat);
+        for key in flat.keys() {
+            if !col_order.iter().any(|c| c == key) {
+                col_order.push(key.clone());
+            }
+        }
+        flat_rows.push(flat);
+    }
+
+    let mut cols: Vec<Column> = col_order
+        .iter()
+        .map(|n| Column::new(n.clone(), Vec::with_capacity(flat_rows.len())))
+        .collect();
+    for row in &mut flat_rows {
+        for (col, name) in cols.iter_mut().zip(&col_order) {
+            col.push(row.remove(name).unwrap_or(Value::Null));
+        }
+    }
+    DataFrame::new(cols)
+}
+
+fn collect_records<'a>(node: &'a Json, out: &mut Vec<&'a Json>) -> Result<()> {
+    match node {
+        Json::Array(items) => {
+            for item in items {
+                if !item.is_object() {
+                    return Err(DataFrameError::InvalidArgument(
+                        "json_normalize expects an array of objects".into(),
+                    ));
+                }
+                out.push(item);
+            }
+            Ok(())
+        }
+        Json::Object(_) => {
+            out.push(node);
+            Ok(())
+        }
+        _ => Err(DataFrameError::InvalidArgument(
+            "json_normalize expects an object or array of objects".into(),
+        )),
+    }
+}
+
+fn flatten_into(prefix: &str, node: &Json, out: &mut BTreeMap<String, Value>) {
+    match node {
+        Json::Object(map) => {
+            for (k, v) in map {
+                let path = if prefix.is_empty() {
+                    k.clone()
+                } else {
+                    format!("{prefix}.{k}")
+                };
+                flatten_into(&path, v, out);
+            }
+        }
+        other => {
+            out.insert(prefix.to_string(), json_scalar(other));
+        }
+    }
+}
+
+fn json_scalar(v: &Json) -> Value {
+    match v {
+        Json::Null => Value::Null,
+        Json::Bool(b) => Value::Bool(*b),
+        Json::Number(n) => {
+            if let Some(i) = n.as_i64() {
+                Value::Int(i)
+            } else {
+                Value::Float(n.as_f64().unwrap_or(f64::NAN))
+            }
+        }
+        Json::String(s) => Value::Str(s.clone()),
+        // Arrays (scalar or object) render as their JSON text.
+        Json::Array(_) | Json::Object(_) => Value::Str(v.to_string()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::json;
+
+    #[test]
+    fn flat_records() {
+        let doc = json!([
+            {"id": 1, "name": "ada"},
+            {"id": 2, "name": "bob"}
+        ]);
+        let df = json_normalize(&doc, None).unwrap();
+        assert_eq!(df.num_rows(), 2);
+        assert_eq!(df.column("name").unwrap().get(1), &Value::Str("bob".into()));
+    }
+
+    #[test]
+    fn nested_objects_get_dotted_paths() {
+        let doc = json!([
+            {"id": 1, "user": {"name": "ada", "address": {"city": "nyc"}}}
+        ]);
+        let df = json_normalize(&doc, None).unwrap();
+        assert!(df.column("user.address.city").is_ok());
+        assert_eq!(
+            df.column("user.address.city").unwrap().get(0),
+            &Value::Str("nyc".into())
+        );
+    }
+
+    #[test]
+    fn ragged_records_null_fill() {
+        let doc = json!([
+            {"id": 1, "extra": true},
+            {"id": 2}
+        ]);
+        let df = json_normalize(&doc, None).unwrap();
+        assert_eq!(df.column("extra").unwrap().get(1), &Value::Null);
+    }
+
+    #[test]
+    fn record_path_descends() {
+        let doc = json!({
+            "meta": {"source": "kaggle"},
+            "results": [{"score": 0.5}, {"score": 0.9}]
+        });
+        let df = json_normalize(&doc, Some(&["results"])).unwrap();
+        assert_eq!(df.num_rows(), 2);
+        assert_eq!(df.column("score").unwrap().get(1), &Value::Float(0.9));
+    }
+
+    #[test]
+    fn arrays_render_as_json_text() {
+        let doc = json!([{"tags": ["a", "b"]}]);
+        let df = json_normalize(&doc, None).unwrap();
+        assert_eq!(
+            df.column("tags").unwrap().get(0),
+            &Value::Str("[\"a\",\"b\"]".into())
+        );
+    }
+
+    #[test]
+    fn scalar_root_rejected() {
+        assert!(json_normalize(&json!(42), None).is_err());
+        assert!(json_normalize(&json!([1, 2]), None).is_err());
+    }
+
+    #[test]
+    fn single_object_root_is_one_row() {
+        let df = json_normalize(&json!({"a": 1}), None).unwrap();
+        assert_eq!(df.num_rows(), 1);
+    }
+
+    #[test]
+    fn missing_record_path_errors() {
+        assert!(json_normalize(&json!({"a": 1}), Some(&["nope"])).is_err());
+    }
+}

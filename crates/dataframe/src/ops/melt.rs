@@ -1,0 +1,146 @@
+//! `melt`: Unpivot — collapse a set of columns into key/value pairs.
+
+use crate::column::Column;
+use crate::error::{DataFrameError, Result};
+use crate::frame::DataFrame;
+use crate::value::Value;
+
+/// Unpivot `value_vars` columns into two new columns, following `pd.melt`.
+///
+/// For every input row and every column `c` in `value_vars`, the output gets
+/// one row carrying the `id_vars` values, plus `var_name` = the *name* of
+/// `c` and `value_name` = the cell value. This is the inverse of
+/// [`crate::ops::pivot_table`] (Fig. 11 in the paper unpivots Fig. 7's
+/// pivot).
+///
+/// `id_vars` and `value_vars` must be disjoint; columns in neither set are
+/// dropped (as in Pandas when `value_vars` is explicit).
+pub fn melt(
+    df: &DataFrame,
+    id_vars: &[&str],
+    value_vars: &[&str],
+    var_name: &str,
+    value_name: &str,
+) -> Result<DataFrame> {
+    if value_vars.is_empty() {
+        return Err(DataFrameError::InvalidArgument(
+            "melt requires at least one value_var".into(),
+        ));
+    }
+    for v in value_vars {
+        if id_vars.contains(v) {
+            return Err(DataFrameError::InvalidArgument(format!(
+                "column {v:?} is both id_var and value_var"
+            )));
+        }
+    }
+    let id_idx: Vec<usize> = id_vars
+        .iter()
+        .map(|n| df.column_index(n))
+        .collect::<Result<_>>()?;
+    let val_idx: Vec<usize> = value_vars
+        .iter()
+        .map(|n| df.column_index(n))
+        .collect::<Result<_>>()?;
+
+    let n_out = df.num_rows() * value_vars.len();
+    let mut out_cols: Vec<Column> = id_vars
+        .iter()
+        .map(|n| Column::new(*n, Vec::with_capacity(n_out)))
+        .collect();
+    let mut var_col = Column::new(var_name, Vec::with_capacity(n_out));
+    let mut value_col = Column::new(value_name, Vec::with_capacity(n_out));
+
+    // Pandas iterates value_vars in the outer loop (column-major output).
+    for (&vi, &vname) in val_idx.iter().zip(value_vars) {
+        for row in 0..df.num_rows() {
+            for (out, &ii) in out_cols.iter_mut().zip(&id_idx) {
+                out.push(df.column_at(ii).get(row).clone());
+            }
+            var_col.push(Value::infer_from_str(vname));
+            value_col.push(df.column_at(vi).get(row).clone());
+        }
+    }
+    out_cols.push(var_col);
+    out_cols.push(value_col);
+    DataFrame::new(out_cols)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's Fig. 11 input: a pivot-shaped table with year columns.
+    fn wide() -> DataFrame {
+        DataFrame::from_columns(vec![
+            (
+                "company",
+                vec![Value::Str("AJRD".into()), Value::Str("YORW".into())],
+            ),
+            ("2006", vec![Value::Float(6218.09), Value::Float(1902.37)]),
+            ("2007", vec![Value::Float(6342.45), Value::Float(1940.42)]),
+            ("2008", vec![Value::Float(7088.62), Value::Float(2168.70)]),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn melt_collapses_year_columns() {
+        let out = melt(
+            &wide(),
+            &["company"],
+            &["2006", "2007", "2008"],
+            "year",
+            "revenue",
+        )
+        .unwrap();
+        assert_eq!(out.num_rows(), 6);
+        assert_eq!(out.column_names(), vec!["company", "year", "revenue"]);
+        // Column names parse as integers in the key column.
+        assert_eq!(out.column("year").unwrap().get(0), &Value::Int(2006));
+        assert_eq!(out.column("revenue").unwrap().get(0), &Value::Float(6218.09));
+    }
+
+    #[test]
+    fn column_major_order_matches_pandas() {
+        let out = melt(&wide(), &["company"], &["2006", "2007"], "y", "v").unwrap();
+        // First all 2006 rows, then all 2007 rows.
+        assert_eq!(out.column("y").unwrap().get(0), &Value::Int(2006));
+        assert_eq!(out.column("y").unwrap().get(1), &Value::Int(2006));
+        assert_eq!(out.column("y").unwrap().get(2), &Value::Int(2007));
+    }
+
+    #[test]
+    fn overlap_between_id_and_value_vars_rejected() {
+        assert!(melt(&wide(), &["company"], &["company"], "k", "v").is_err());
+        assert!(melt(&wide(), &["company"], &[], "k", "v").is_err());
+    }
+
+    #[test]
+    fn missing_column_errors() {
+        assert!(melt(&wide(), &["company"], &["1999"], "k", "v").is_err());
+    }
+
+    #[test]
+    fn string_var_names_stay_strings() {
+        let df = DataFrame::from_columns(vec![
+            ("id", vec![Value::Int(1)]),
+            ("alpha", vec![Value::Int(10)]),
+            ("beta", vec![Value::Int(20)]),
+        ])
+        .unwrap();
+        let out = melt(&df, &["id"], &["alpha", "beta"], "k", "v").unwrap();
+        assert_eq!(out.column("k").unwrap().get(0), &Value::Str("alpha".into()));
+    }
+
+    #[test]
+    fn null_cells_survive_melt() {
+        let df = DataFrame::from_columns(vec![
+            ("id", vec![Value::Int(1)]),
+            ("a", vec![Value::Null]),
+        ])
+        .unwrap();
+        let out = melt(&df, &["id"], &["a"], "k", "v").unwrap();
+        assert_eq!(out.column("v").unwrap().get(0), &Value::Null);
+    }
+}

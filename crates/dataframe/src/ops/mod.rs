@@ -1,0 +1,24 @@
+//! The table-manipulation operators Auto-Suggest instruments.
+//!
+//! These are the eight Pandas API calls the paper's replay system records
+//! (§3.3): `merge`, `groupby`, `pivot` (we implement the more general
+//! `pivot_table`), `melt`, `concat`, `dropna`, `fillna`, plus
+//! `json_normalize` from §1. Each operator takes and returns plain
+//! [`crate::DataFrame`]s so the replay interpreter can log full input/output
+//! tables around every call.
+
+mod concat;
+mod groupby;
+mod json_normalize;
+mod melt;
+mod merge;
+mod missing;
+mod pivot;
+
+pub use concat::{concat, concat_columns};
+pub use groupby::{groupby, Agg};
+pub use json_normalize::json_normalize;
+pub use melt::melt;
+pub use merge::{merge, JoinType};
+pub use missing::{dropna, fillna, fillna_all, DropHow};
+pub use pivot::pivot_table;

@@ -1,0 +1,229 @@
+//! `pivot_table`: reshape a flat table into a two-dimensional cross-tab.
+
+use crate::column::Column;
+use crate::error::{DataFrameError, Result};
+use crate::frame::DataFrame;
+use crate::ops::groupby::Agg;
+use crate::value::Value;
+use std::collections::HashMap;
+
+/// Create a pivot table, following `pd.pivot_table` semantics.
+///
+/// * `index`: columns placed on the left of the result (row labels);
+/// * `header`: columns whose value combinations become output columns
+///   (`columns=` in Pandas);
+/// * `values`: the aggregation column (`values=`);
+/// * `agg`: the aggregation function (`aggfunc=`).
+///
+/// Output rows are distinct `index` tuples in first-seen order; output
+/// columns are the `index` columns followed by one column per distinct
+/// `header` tuple (sorted, multi-column tuples joined with `|`). Cells with
+/// no contributing input rows are NULL — the emptiness that the paper's AMPT
+/// objective (§4.3) minimises.
+pub fn pivot_table(
+    df: &DataFrame,
+    index: &[&str],
+    header: &[&str],
+    values: &str,
+    agg: Agg,
+) -> Result<DataFrame> {
+    if index.is_empty() || header.is_empty() {
+        return Err(DataFrameError::InvalidArgument(
+            "pivot_table requires non-empty index and header column sets".into(),
+        ));
+    }
+    for h in header {
+        if index.contains(h) {
+            return Err(DataFrameError::InvalidArgument(format!(
+                "column {h:?} cannot be both index and header"
+            )));
+        }
+    }
+    if index.contains(&values) || header.contains(&values) {
+        return Err(DataFrameError::InvalidArgument(format!(
+            "values column {values:?} overlaps index/header"
+        )));
+    }
+    let index_idx: Vec<usize> = index
+        .iter()
+        .map(|n| df.column_index(n))
+        .collect::<Result<_>>()?;
+    let header_idx: Vec<usize> = header
+        .iter()
+        .map(|n| df.column_index(n))
+        .collect::<Result<_>>()?;
+    let values_idx = df.column_index(values)?;
+
+    // Collect cells: (index tuple, header tuple) -> contributing values.
+    let mut row_order: Vec<Vec<Value>> = Vec::new();
+    let mut row_slot: HashMap<Vec<Value>, usize> = HashMap::new();
+    let mut header_tuples: Vec<Vec<Value>> = Vec::new();
+    let mut header_slot: HashMap<Vec<Value>, usize> = HashMap::new();
+    let mut cells: HashMap<(usize, usize), Vec<usize>> = HashMap::new();
+
+    for i in 0..df.num_rows() {
+        let ikey: Vec<Value> = index_idx
+            .iter()
+            .map(|&k| df.column_at(k).get(i).clone())
+            .collect();
+        let hkey: Vec<Value> = header_idx
+            .iter()
+            .map(|&k| df.column_at(k).get(i).clone())
+            .collect();
+        if ikey.iter().any(Value::is_null) || hkey.iter().any(Value::is_null) {
+            continue; // Pandas drops null group labels.
+        }
+        let r = *row_slot.entry(ikey.clone()).or_insert_with(|| {
+            row_order.push(ikey);
+            row_order.len() - 1
+        });
+        let c = *header_slot.entry(hkey.clone()).or_insert_with(|| {
+            header_tuples.push(hkey);
+            header_tuples.len() - 1
+        });
+        cells.entry((r, c)).or_default().push(i);
+    }
+
+    // Sort header tuples for deterministic, Pandas-like column order.
+    let mut header_perm: Vec<usize> = (0..header_tuples.len()).collect();
+    header_perm.sort_by(|&a, &b| header_tuples[a].cmp(&header_tuples[b]));
+
+    let mut out_cols: Vec<Column> = Vec::new();
+    for (pos, &name) in index.iter().enumerate() {
+        out_cols.push(Column::new(
+            name,
+            row_order.iter().map(|k| k[pos].clone()).collect(),
+        ));
+    }
+    let src = df.column_at(values_idx);
+    for &h in &header_perm {
+        let label = header_tuples[h]
+            .iter()
+            .map(|v| v.render())
+            .collect::<Vec<_>>()
+            .join("|");
+        let mut vals = Vec::with_capacity(row_order.len());
+        for r in 0..row_order.len() {
+            match cells.get(&(r, h)) {
+                Some(rows) => {
+                    let group: Vec<&Value> = rows.iter().map(|&i| src.get(i)).collect();
+                    vals.push(agg.apply(&group));
+                }
+                None => vals.push(Value::Null),
+            }
+        }
+        out_cols.push(Column::new(label, vals));
+    }
+    DataFrame::new(out_cols)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's running example (Fig. 7): SEC filings pivoted by year.
+    fn filings() -> DataFrame {
+        let rows = vec![
+            ("Aerospace", "AJRD", 2006, 472.07),
+            ("Aerospace", "AJRD", 2006, 489.22),
+            ("Aerospace", "AJRD", 2007, 500.00),
+            ("Aerospace", "BA", 2006, 210.66),
+            ("Utilities", "YORW", 2007, 271.73),
+        ];
+        DataFrame::from_rows(
+            &["sector", "ticker", "year", "revenue"],
+            rows.into_iter()
+                .map(|(s, t, y, r)| {
+                    vec![
+                        Value::Str(s.into()),
+                        Value::Str(t.into()),
+                        Value::Int(y),
+                        Value::Float(r),
+                    ]
+                })
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn pivot_by_year_sums_quarters() {
+        let out = pivot_table(
+            &filings(),
+            &["sector", "ticker"],
+            &["year"],
+            "revenue",
+            Agg::Sum,
+        )
+        .unwrap();
+        assert_eq!(out.column_names(), vec!["sector", "ticker", "2006", "2007"]);
+        assert_eq!(out.num_rows(), 3);
+        // AJRD 2006 = 472.07 + 489.22
+        assert_eq!(
+            out.column("2006").unwrap().get(0),
+            &Value::Float(472.07 + 489.22)
+        );
+        // BA has no 2007 entry -> NULL
+        let ba = (0..3)
+            .find(|&i| out.column("ticker").unwrap().get(i) == &Value::Str("BA".into()))
+            .unwrap();
+        assert_eq!(out.column("2007").unwrap().get(ba), &Value::Null);
+    }
+
+    #[test]
+    fn bad_split_creates_emptiness() {
+        // Fig. 8 of the paper: header = sector while index = ticker creates
+        // NULLs because sector is functionally determined by ticker.
+        let out = pivot_table(&filings(), &["ticker", "year"], &["sector"], "revenue", Agg::Sum)
+            .unwrap();
+        let nulls: usize = out
+            .columns()
+            .iter()
+            .skip(2)
+            .map(|c| c.null_count())
+            .sum();
+        assert!(nulls > 0, "FD-violating split must produce empty cells");
+    }
+
+    #[test]
+    fn multi_header_labels_join_with_pipe() {
+        let out = pivot_table(
+            &filings(),
+            &["sector"],
+            &["ticker", "year"],
+            "revenue",
+            Agg::Sum,
+        )
+        .unwrap();
+        assert!(out.column_names().iter().any(|n| n.contains('|')));
+    }
+
+    #[test]
+    fn header_overlapping_index_rejected() {
+        assert!(pivot_table(&filings(), &["sector"], &["sector"], "revenue", Agg::Sum).is_err());
+        assert!(
+            pivot_table(&filings(), &["sector"], &["year"], "sector", Agg::Sum).is_err()
+        );
+    }
+
+    #[test]
+    fn mean_aggregation() {
+        let out = pivot_table(&filings(), &["ticker"], &["year"], "revenue", Agg::Mean).unwrap();
+        let ajrd = (0..out.num_rows())
+            .find(|&i| out.column("ticker").unwrap().get(i) == &Value::Str("AJRD".into()))
+            .unwrap();
+        assert_eq!(
+            out.column("2006").unwrap().get(ajrd),
+            &Value::Float((472.07 + 489.22) / 2.0)
+        );
+    }
+
+    #[test]
+    fn count_fills_with_counts_not_nulls_only() {
+        let out = pivot_table(&filings(), &["sector"], &["year"], "revenue", Agg::Count).unwrap();
+        let aero = (0..out.num_rows())
+            .find(|&i| out.column("sector").unwrap().get(i) == &Value::Str("Aerospace".into()))
+            .unwrap();
+        assert_eq!(out.column("2006").unwrap().get(aero), &Value::Int(3));
+    }
+}

@@ -1,0 +1,255 @@
+//! Column-pair affinity/compatibility features (§4.3–4.4).
+//!
+//! The paper's §4.3 names two features — emptiness-reduction-ratio and
+//! column-position-difference — and defers the full feature list to the
+//! extended version. Those two alone cannot distinguish a cluster of
+//! FD-linked id columns (Company/Ticker/Sector) from a collapsible value
+//! block (2006/2007/2008): both are internally "affine". The additional
+//! *stackability* signals below capture what Unpivot compatibility really
+//! means — the columns' cells could live in one column: shared dtype
+//! (relative to the rest of the table), overlapping numeric ranges, and
+//! similar cardinalities.
+
+use autosuggest_dataframe::DataFrame;
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// Names of the affinity feature vector entries.
+pub const AFFINITY_FEATURE_NAMES: [&str; 11] = [
+    "emptiness_reduction_log",
+    "position_diff_abs",
+    "position_diff_rel",
+    "dtype_match",
+    "both_numeric",
+    "range_overlap",
+    "value_jaccard",
+    "distinct_ratio_similarity",
+    "same_dtype_fraction",
+    "pair_min_distinct_log",
+    "pair_max_distinct_log",
+];
+
+/// Extracted affinity features for one ordered pair of columns.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AffinityFeatures {
+    pub values: Vec<f64>,
+}
+
+impl AffinityFeatures {
+    pub fn get(&self, name: &str) -> f64 {
+        let idx = AFFINITY_FEATURE_NAMES
+            .iter()
+            .position(|&n| n == name)
+            .unwrap_or_else(|| panic!("unknown affinity feature {name:?}"));
+        self.values[idx]
+    }
+}
+
+/// Emptiness-reduction-ratio of §4.3:
+/// `|distinct(Ci)| · |distinct(Cj)| / |distinct(Ci, Cj)|`.
+///
+/// A high ratio means the joint domain is far smaller than the cross
+/// product — arranging the two columns on *different* pivot sides would
+/// materialise that cross product as mostly-NULL cells (Fig. 8), so they
+/// belong together.
+pub fn emptiness_reduction_ratio(df: &DataFrame, ci: usize, cj: usize) -> f64 {
+    let a = df.column_at(ci);
+    let b = df.column_at(cj);
+    let da = a.distinct_count().max(1) as f64;
+    let db = b.distinct_count().max(1) as f64;
+    let mut joint: HashSet<(u64, u64)> = HashSet::new();
+    for i in 0..df.num_rows() {
+        let (va, vb) = (a.get(i), b.get(i));
+        if va.is_null() || vb.is_null() {
+            continue;
+        }
+        joint.insert((va.fingerprint(), vb.fingerprint()));
+    }
+    da * db / joint.len().max(1) as f64
+}
+
+/// Extract affinity features for columns at positions `ci`, `cj` of `df`.
+pub fn affinity_features(df: &DataFrame, ci: usize, cj: usize) -> AffinityFeatures {
+    assert_ne!(ci, cj, "affinity is defined between distinct columns");
+    let a = df.column_at(ci);
+    let b = df.column_at(cj);
+    let err = emptiness_reduction_ratio(df, ci, cj);
+    let pos_diff = ci.abs_diff(cj) as f64;
+    let ncols = df.num_columns().max(2) as f64;
+    let (da, db) = (a.dtype(), b.dtype());
+    let dtype_match = if da == db { 1.0 } else { 0.0 };
+    let both_numeric = if da.is_numeric() && db.is_numeric() { 1.0 } else { 0.0 };
+
+    let range_overlap = match (a.numeric_range(), b.numeric_range()) {
+        (Some((alo, ahi)), Some((blo, bhi))) => {
+            let inter = (ahi.min(bhi) - alo.max(blo)).max(0.0);
+            let uni = (ahi.max(bhi) - alo.min(blo)).max(f64::EPSILON);
+            if uni <= f64::EPSILON { 1.0 } else { inter / uni }
+        }
+        _ => 0.0,
+    };
+
+    let sa = a.distinct_set();
+    let sb = b.distinct_set();
+    let inter = sa.intersection(&sb).count() as f64;
+    let union = (sa.len() + sb.len()) as f64 - inter;
+    let value_jaccard = if union > 0.0 { inter / union } else { 0.0 };
+
+    let (ra, rb) = (a.distinct_ratio(), b.distinct_ratio());
+    let distinct_sim = if ra.max(rb) > 0.0 { ra.min(rb) / ra.max(rb) } else { 1.0 };
+
+    // How much of the table shares this pair's dtype: a matching pair from
+    // the dominant column type (a wide value block) scores high; a matching
+    // pair of minority-type id columns scores low.
+    let same_dtype_fraction = if dtype_match > 0.0 {
+        df.columns().iter().filter(|c| c.dtype() == da).count() as f64 / ncols
+    } else {
+        0.0
+    };
+
+    AffinityFeatures {
+        values: vec![
+            err.ln(),
+            pos_diff,
+            pos_diff / (ncols - 1.0),
+            dtype_match,
+            both_numeric,
+            range_overlap,
+            value_jaccard,
+            distinct_sim,
+            same_dtype_fraction,
+            (1.0 + a.distinct_count().min(b.distinct_count()) as f64).ln(),
+            (1.0 + a.distinct_count().max(b.distinct_count()) as f64).ln(),
+        ],
+    }
+}
+
+/// Convenience for heuristic baselines: raw ERR without the log transform.
+pub fn raw_err(df: &DataFrame, ci: usize, cj: usize) -> f64 {
+    emptiness_reduction_ratio(df, ci, cj)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autosuggest_dataframe::Value;
+
+    /// 20 sectors × 5 companies each (company determines sector), 3 years.
+    fn filings() -> DataFrame {
+        let mut sector = Vec::new();
+        let mut company = Vec::new();
+        let mut year = Vec::new();
+        for s in 0..20 {
+            for c in 0..5 {
+                for y in 0..3 {
+                    sector.push(Value::Str(format!("sector{s}")));
+                    company.push(Value::Str(format!("co{s}_{c}")));
+                    year.push(Value::Int(2006 + y));
+                }
+            }
+        }
+        DataFrame::from_columns(vec![
+            ("sector", sector),
+            ("company", company),
+            ("year", year),
+        ])
+        .unwrap()
+    }
+
+    /// Wide pivot-shaped table: 2 string ids + 4 float year columns.
+    fn wide() -> DataFrame {
+        let n = 10;
+        DataFrame::from_columns(vec![
+            ("name", (0..n).map(|i| Value::Str(format!("co{i}"))).collect()),
+            (
+                "sector",
+                (0..n).map(|i| Value::Str(format!("s{}", i % 3))).collect(),
+            ),
+            ("2006", (0..n).map(|i| Value::Float(100.0 + i as f64)).collect()),
+            ("2007", (0..n).map(|i| Value::Float(102.0 + i as f64)).collect()),
+            ("2008", (0..n).map(|i| Value::Float(104.0 + i as f64)).collect()),
+            ("2009", (0..n).map(|i| Value::Float(106.0 + i as f64)).collect()),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn fd_pair_has_high_reduction_ratio() {
+        let df = filings();
+        let err = emptiness_reduction_ratio(&df, 0, 1);
+        assert!((err - 20.0).abs() < 1e-9, "err = {err}");
+    }
+
+    #[test]
+    fn independent_pair_has_ratio_one() {
+        let df = filings();
+        let err = emptiness_reduction_ratio(&df, 0, 2);
+        assert!((err - 1.0).abs() < 1e-9, "err = {err}");
+    }
+
+    #[test]
+    fn position_difference_features() {
+        let df = filings();
+        let f = affinity_features(&df, 0, 2);
+        assert_eq!(f.get("position_diff_abs"), 2.0);
+        assert_eq!(f.get("position_diff_rel"), 1.0);
+    }
+
+    #[test]
+    fn log_err_feature_ordering() {
+        let df = filings();
+        let fd = affinity_features(&df, 0, 1);
+        let indep = affinity_features(&df, 0, 2);
+        assert!(fd.get("emptiness_reduction_log") > indep.get("emptiness_reduction_log"));
+    }
+
+    #[test]
+    fn stackability_separates_value_block_from_id_pair() {
+        let df = wide();
+        let value_pair = affinity_features(&df, 2, 3);
+        let id_pair = affinity_features(&df, 0, 1);
+        assert_eq!(value_pair.get("both_numeric"), 1.0);
+        assert_eq!(id_pair.get("both_numeric"), 0.0);
+        assert!(value_pair.get("range_overlap") > 0.5);
+        assert!(
+            value_pair.get("same_dtype_fraction") > id_pair.get("same_dtype_fraction"),
+            "value block is the dominant type"
+        );
+        assert!(value_pair.get("distinct_ratio_similarity") > 0.9);
+    }
+
+    #[test]
+    fn value_jaccard_detects_shared_domains() {
+        let df = DataFrame::from_columns(vec![
+            ("a", (0..10).map(Value::Int).collect()),
+            ("b", (0..10).map(Value::Int).collect()),
+            ("c", (100..110).map(Value::Int).collect()),
+        ])
+        .unwrap();
+        assert_eq!(affinity_features(&df, 0, 1).get("value_jaccard"), 1.0);
+        assert_eq!(affinity_features(&df, 0, 2).get("value_jaccard"), 0.0);
+    }
+
+    #[test]
+    fn nulls_are_ignored_in_joint_domain() {
+        let df = DataFrame::from_columns(vec![
+            ("a", vec![Value::Str("x".into()), Value::Null, Value::Str("x".into())]),
+            ("b", vec![Value::Int(1), Value::Int(2), Value::Int(1)]),
+        ])
+        .unwrap();
+        assert!((emptiness_reduction_ratio(&df, 0, 1) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn feature_vector_aligned_with_names() {
+        let df = filings();
+        let f = affinity_features(&df, 0, 1);
+        assert_eq!(f.values.len(), AFFINITY_FEATURE_NAMES.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct columns")]
+    fn same_column_panics() {
+        affinity_features(&filings(), 1, 1);
+    }
+}

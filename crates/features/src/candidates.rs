@@ -1,0 +1,244 @@
+//! Join-candidate enumeration with type and sketch pruning (§4.1, fn. 2).
+
+use crate::sketch::MinHashSketch;
+use autosuggest_dataframe::{DataFrame, DType, Value};
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+use std::hash::{Hash, Hasher};
+
+/// A candidate join: column index sets `S ⊆ T` and `S' ⊆ T'` with
+/// `|S| = |S'|`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct JoinCandidate {
+    pub left_cols: Vec<usize>,
+    pub right_cols: Vec<usize>,
+}
+
+/// Knobs for candidate enumeration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CandidateParams {
+    /// Sketch size for the containment pre-check.
+    pub sketch_k: usize,
+    /// Single-column pairs whose best-direction containment estimate falls
+    /// below this are pruned (kept lax: pruning must not drop ground truth).
+    pub min_containment: f64,
+    /// Maximum key width; 2 covers the multi-column joins seen in notebooks.
+    pub max_width: usize,
+    /// Cap on emitted candidates (safety valve for very wide tables).
+    pub max_candidates: usize,
+}
+
+impl Default for CandidateParams {
+    fn default() -> Self {
+        CandidateParams {
+            sketch_k: 64,
+            min_containment: 0.02,
+            max_width: 2,
+            max_candidates: 2_000,
+        }
+    }
+}
+
+/// Hash one cell for sketching (nulls excluded by callers).
+fn value_hash(v: &Value) -> u64 {
+    v.fingerprint()
+}
+
+/// Hash a tuple of cells.
+fn tuple_hash(vals: &[&Value]) -> u64 {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    for v in vals {
+        v.hash(&mut h);
+    }
+    h.finish()
+}
+
+/// Distinct non-null tuple hashes for a column set.
+pub fn key_tuple_hashes(df: &DataFrame, cols: &[usize]) -> HashSet<u64> {
+    let mut out = HashSet::with_capacity(df.num_rows());
+    'row: for i in 0..df.num_rows() {
+        let mut vals = Vec::with_capacity(cols.len());
+        for &c in cols {
+            let v = df.column_at(c).get(i);
+            if v.is_null() {
+                continue 'row;
+            }
+            vals.push(v);
+        }
+        out.insert(tuple_hash(&vals));
+    }
+    out
+}
+
+/// Enumerate join candidates between `left` and `right`.
+///
+/// Single-column pairs are kept when their dtypes unify (footnote 2's
+/// type-mismatch pruning) and the sketched containment in either direction
+/// clears `min_containment`. Two-column candidates are built from ordered
+/// pairs of surviving single-column candidates that use distinct columns on
+/// both sides.
+pub fn enumerate_join_candidates(
+    left: &DataFrame,
+    right: &DataFrame,
+    params: &CandidateParams,
+) -> Vec<JoinCandidate> {
+    let ltypes: Vec<DType> = left.columns().iter().map(|c| c.dtype()).collect();
+    let rtypes: Vec<DType> = right.columns().iter().map(|c| c.dtype()).collect();
+    let lsketch: Vec<MinHashSketch> = left
+        .columns()
+        .iter()
+        .map(|c| MinHashSketch::from_hashes(c.non_null().map(value_hash), params.sketch_k))
+        .collect();
+    let rsketch: Vec<MinHashSketch> = right
+        .columns()
+        .iter()
+        .map(|c| MinHashSketch::from_hashes(c.non_null().map(value_hash), params.sketch_k))
+        .collect();
+
+    let mut singles: Vec<(usize, usize)> = Vec::new();
+    for li in 0..left.num_columns() {
+        for ri in 0..right.num_columns() {
+            if ltypes[li].unify(rtypes[ri]).is_none() {
+                continue;
+            }
+            if ltypes[li] == DType::Null && rtypes[ri] == DType::Null {
+                continue;
+            }
+            let c = lsketch[li]
+                .containment_in(&rsketch[ri])
+                .max(rsketch[ri].containment_in(&lsketch[li]));
+            if c >= params.min_containment {
+                singles.push((li, ri));
+            }
+        }
+    }
+
+    let mut out: Vec<JoinCandidate> = singles
+        .iter()
+        .map(|&(l, r)| JoinCandidate { left_cols: vec![l], right_cols: vec![r] })
+        .collect();
+    out.truncate(params.max_candidates);
+
+    if params.max_width >= 2 {
+        for (i, &(l1, r1)) in singles.iter().enumerate() {
+            for &(l2, r2) in &singles[i + 1..] {
+                if l1 == l2 || r1 == r2 {
+                    continue;
+                }
+                if out.len() >= params.max_candidates {
+                    return out;
+                }
+                out.push(JoinCandidate {
+                    left_cols: vec![l1, l2],
+                    right_cols: vec![r1, r2],
+                });
+            }
+        }
+    }
+    out.truncate(params.max_candidates);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autosuggest_dataframe::Value;
+
+    fn strcol(vals: &[&str]) -> Vec<Value> {
+        vals.iter().map(|s| Value::Str((*s).into())).collect()
+    }
+
+    fn intcol(vals: &[i64]) -> Vec<Value> {
+        vals.iter().map(|&i| Value::Int(i)).collect()
+    }
+
+    #[test]
+    fn type_mismatch_is_pruned() {
+        let l = DataFrame::from_columns(vec![("name", strcol(&["a", "b"]))]).unwrap();
+        let r = DataFrame::from_columns(vec![("id", intcol(&[1, 2]))]).unwrap();
+        let cands = enumerate_join_candidates(&l, &r, &CandidateParams::default());
+        assert!(cands.is_empty());
+    }
+
+    #[test]
+    fn overlapping_columns_survive() {
+        let l = DataFrame::from_columns(vec![
+            ("title", strcol(&["dune", "it", "emma"])),
+            ("rank", intcol(&[1, 2, 3])),
+        ])
+        .unwrap();
+        let r = DataFrame::from_columns(vec![
+            ("title_on_list", strcol(&["dune", "emma"])),
+            ("weeks", intcol(&[3, 9])),
+        ])
+        .unwrap();
+        let cands = enumerate_join_candidates(&l, &r, &CandidateParams::default());
+        assert!(cands.contains(&JoinCandidate { left_cols: vec![0], right_cols: vec![0] }));
+        // rank ↔ weeks also survives (ints with overlapping values) — the
+        // ranking model, not the enumerator, must demote it.
+        assert!(cands.contains(&JoinCandidate { left_cols: vec![1], right_cols: vec![1] }));
+    }
+
+    #[test]
+    fn disjoint_value_sets_are_pruned() {
+        let l = DataFrame::from_columns(vec![("a", strcol(&["x", "y"]))]).unwrap();
+        let r = DataFrame::from_columns(vec![("b", strcol(&["p", "q"]))]).unwrap();
+        let cands = enumerate_join_candidates(&l, &r, &CandidateParams::default());
+        assert!(cands.is_empty());
+    }
+
+    #[test]
+    fn multi_column_candidates_combine_singles() {
+        let l = DataFrame::from_columns(vec![
+            ("c1", strcol(&["a", "b"])),
+            ("c2", intcol(&[1, 2])),
+        ])
+        .unwrap();
+        let r = DataFrame::from_columns(vec![
+            ("d1", strcol(&["a", "b"])),
+            ("d2", intcol(&[1, 2])),
+        ])
+        .unwrap();
+        let cands = enumerate_join_candidates(&l, &r, &CandidateParams::default());
+        assert!(cands
+            .iter()
+            .any(|c| c.left_cols == vec![0, 1] && c.right_cols == vec![0, 1]));
+        // No candidate reuses a column on one side.
+        for c in &cands {
+            let mut l = c.left_cols.clone();
+            l.dedup();
+            assert_eq!(l.len(), c.left_cols.len());
+        }
+    }
+
+    #[test]
+    fn candidate_cap_is_respected() {
+        let cols: Vec<(String, Vec<Value>)> = (0..30)
+            .map(|i| (format!("c{i}"), intcol(&[1, 2, 3])))
+            .collect();
+        let frame = |prefix: &str| {
+            DataFrame::new(
+                cols.iter()
+                    .map(|(n, v)| {
+                        autosuggest_dataframe::Column::new(format!("{prefix}{n}"), v.clone())
+                    })
+                    .collect(),
+            )
+            .unwrap()
+        };
+        let params = CandidateParams { max_candidates: 50, ..Default::default() };
+        let cands = enumerate_join_candidates(&frame("l"), &frame("r"), &params);
+        assert_eq!(cands.len(), 50);
+    }
+
+    #[test]
+    fn key_tuple_hashes_skip_null_rows() {
+        let df = DataFrame::from_columns(vec![
+            ("a", vec![Value::Int(1), Value::Null, Value::Int(1)]),
+            ("b", vec![Value::Int(2), Value::Int(3), Value::Int(2)]),
+        ])
+        .unwrap();
+        let hashes = key_tuple_hashes(&df, &[0, 1]);
+        assert_eq!(hashes.len(), 1); // row 1 skipped, rows 0 and 2 identical
+    }
+}

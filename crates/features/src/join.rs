@@ -1,0 +1,315 @@
+//! Join-candidate features (§4.1) — the eight groups of Table 4.
+
+use crate::candidates::{key_tuple_hashes, JoinCandidate};
+use autosuggest_dataframe::{DataFrame, DType};
+use serde::{Deserialize, Serialize};
+
+/// Names of the join feature vector entries, in extraction order.
+pub const JOIN_FEATURE_NAMES: [&str; 18] = [
+    "distinct_ratio_left",
+    "distinct_ratio_right",
+    "distinct_ratio_max",
+    "jaccard_similarity",
+    "containment_left_in_right",
+    "containment_right_in_left",
+    "containment_max",
+    "range_overlap",
+    "key_is_string",
+    "key_is_int",
+    "key_is_float",
+    "leftness_abs_left",
+    "leftness_rel_left",
+    "leftness_abs_right",
+    "leftness_rel_right",
+    "sortedness",
+    "single_column",
+    "table_stats_row_ratio",
+];
+
+/// Feature-index → feature-group mapping used to aggregate GBDT importances
+/// into the eight groups of Table 4.
+pub const JOIN_FEATURE_GROUPS: [(usize, &str); 18] = [
+    (0, "distinct-val-ratio"),
+    (1, "distinct-val-ratio"),
+    (2, "distinct-val-ratio"),
+    (3, "val-overlap"),
+    (4, "val-overlap"),
+    (5, "val-overlap"),
+    (6, "val-overlap"),
+    (7, "val-range-overlap"),
+    (8, "col-val-types"),
+    (9, "col-val-types"),
+    (10, "col-val-types"),
+    (11, "left-ness"),
+    (12, "left-ness"),
+    (13, "left-ness"),
+    (14, "left-ness"),
+    (15, "sorted-ness"),
+    (16, "single-col-candidate"),
+    (17, "table-stats"),
+];
+
+/// The extracted feature vector for one join candidate, with named access
+/// for tests and explanations.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JoinFeatures {
+    pub values: Vec<f64>,
+}
+
+impl JoinFeatures {
+    pub fn get(&self, name: &str) -> f64 {
+        let idx = JOIN_FEATURE_NAMES
+            .iter()
+            .position(|&n| n == name)
+            .unwrap_or_else(|| panic!("unknown join feature {name:?}"));
+        self.values[idx]
+    }
+}
+
+/// Extract the §4.1 feature vector for candidate `(S, S')`.
+pub fn join_features(
+    left: &DataFrame,
+    right: &DataFrame,
+    cand: &JoinCandidate,
+) -> JoinFeatures {
+    assert_eq!(cand.left_cols.len(), cand.right_cols.len());
+    assert!(!cand.left_cols.is_empty());
+
+    let lrows = left.num_rows().max(1);
+    let rrows = right.num_rows().max(1);
+
+    // Distinct-value-ratio over key tuples.
+    let lkeys = key_tuple_hashes(left, &cand.left_cols);
+    let rkeys = key_tuple_hashes(right, &cand.right_cols);
+    let distinct_l = lkeys.len() as f64 / lrows as f64;
+    let distinct_r = rkeys.len() as f64 / rrows as f64;
+
+    // Exact value overlap on tuple hashes (tables at replay scale are small
+    // enough to afford exact sets; sketches are only for pruning).
+    let inter = lkeys.intersection(&rkeys).count() as f64;
+    let union = (lkeys.len() + rkeys.len()) as f64 - inter;
+    let jaccard = if union > 0.0 { inter / union } else { 0.0 };
+    let cont_l = if !lkeys.is_empty() { inter / lkeys.len() as f64 } else { 0.0 };
+    let cont_r = if !rkeys.is_empty() { inter / rkeys.len() as f64 } else { 0.0 };
+
+    // Value-range-overlap: only defined for single-column numeric pairs;
+    // multi-column candidates average their per-position overlaps.
+    let mut range_overlaps = Vec::with_capacity(cand.left_cols.len());
+    for (&lc, &rc) in cand.left_cols.iter().zip(&cand.right_cols) {
+        let lcol = left.column_at(lc);
+        let rcol = right.column_at(rc);
+        if lcol.dtype().is_numeric() && rcol.dtype().is_numeric() {
+            if let (Some((llo, lhi)), Some((rlo, rhi))) =
+                (lcol.numeric_range(), rcol.numeric_range())
+            {
+                let inter = (lhi.min(rhi) - llo.max(rlo)).max(0.0);
+                let uni = (lhi.max(rhi) - llo.min(rlo)).max(f64::EPSILON);
+                // Point ranges (single distinct value) count as full overlap
+                // when they coincide.
+                let ov = if uni <= f64::EPSILON { 1.0 } else { inter / uni };
+                range_overlaps.push(ov);
+            } else {
+                range_overlaps.push(0.0);
+            }
+        } else if lcol.dtype() == DType::Str && rcol.dtype() == DType::Str {
+            // For strings, range overlap is undefined; use the value overlap
+            // itself as the stand-in (string overlap is trustworthy, §4.1).
+            range_overlaps.push(jaccard);
+        } else {
+            range_overlaps.push(0.0);
+        }
+    }
+    let range_overlap =
+        range_overlaps.iter().sum::<f64>() / range_overlaps.len() as f64;
+
+    // Key dtype indicators (unified across positions: "string key" only when
+    // every key column is a string, etc.).
+    let all_dtype = |want: fn(DType) -> bool| -> f64 {
+        let ok = cand
+            .left_cols
+            .iter()
+            .zip(&cand.right_cols)
+            .all(|(&lc, &rc)| want(left.column_at(lc).dtype()) && want(right.column_at(rc).dtype()));
+        if ok {
+            1.0
+        } else {
+            0.0
+        }
+    };
+    let key_is_string = all_dtype(|d| d == DType::Str);
+    let key_is_int = all_dtype(|d| d == DType::Int);
+    let key_is_float = all_dtype(|d| matches!(d, DType::Float | DType::Int));
+
+    // Left-ness: average column positions, absolute and relative.
+    let avg = |cols: &[usize]| cols.iter().sum::<usize>() as f64 / cols.len() as f64;
+    let labs = avg(&cand.left_cols);
+    let rabs = avg(&cand.right_cols);
+    let lrel = labs / left.num_columns().max(1) as f64;
+    let rrel = rabs / right.num_columns().max(1) as f64;
+
+    // Sorted-ness: fraction of key columns that are sorted, both sides.
+    let sorted_frac = {
+        let mut sorted = 0usize;
+        let mut total = 0usize;
+        for &c in &cand.left_cols {
+            total += 1;
+            if left.column_at(c).is_sorted() {
+                sorted += 1;
+            }
+        }
+        for &c in &cand.right_cols {
+            total += 1;
+            if right.column_at(c).is_sorted() {
+                sorted += 1;
+            }
+        }
+        sorted as f64 / total as f64
+    };
+
+    let single = if cand.left_cols.len() == 1 { 1.0 } else { 0.0 };
+    let row_ratio = lrows as f64 / rrows as f64;
+
+    JoinFeatures {
+        values: vec![
+            distinct_l,
+            distinct_r,
+            distinct_l.max(distinct_r),
+            jaccard,
+            cont_l,
+            cont_r,
+            cont_l.max(cont_r),
+            range_overlap,
+            key_is_string,
+            key_is_int,
+            key_is_float,
+            labs,
+            lrel,
+            rabs,
+            rrel,
+            sorted_frac,
+            single,
+            row_ratio.min(100.0),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autosuggest_dataframe::Value;
+
+    fn books() -> (DataFrame, DataFrame) {
+        // Fig. 5 of the paper: the title columns are the true join despite
+        // imperfect containment; rank/weeks have accidental full containment.
+        let left = DataFrame::from_columns(vec![
+            (
+                "title",
+                ["dune", "it", "emma", "holes"]
+                    .iter()
+                    .map(|s| Value::Str((*s).into()))
+                    .collect(),
+            ),
+            ("rank_on_list", (1..=4).map(Value::Int).collect()),
+        ])
+        .unwrap();
+        let right = DataFrame::from_columns(vec![
+            (
+                "title_on_list",
+                ["dune", "emma", "gatsby"]
+                    .iter()
+                    .map(|s| Value::Str((*s).into()))
+                    .collect(),
+            ),
+            ("weeks_on_list", vec![Value::Int(2), Value::Int(3), Value::Int(1)]),
+        ])
+        .unwrap();
+        (left, right)
+    }
+
+    #[test]
+    fn feature_vector_matches_name_table() {
+        let (l, r) = books();
+        let f = join_features(&l, &r, &JoinCandidate { left_cols: vec![0], right_cols: vec![0] });
+        assert_eq!(f.values.len(), JOIN_FEATURE_NAMES.len());
+        assert_eq!(f.values.len(), JOIN_FEATURE_GROUPS.len());
+    }
+
+    #[test]
+    fn title_pair_has_partial_overlap_and_string_type() {
+        let (l, r) = books();
+        let f = join_features(&l, &r, &JoinCandidate { left_cols: vec![0], right_cols: vec![0] });
+        // 2 shared titles of 5 distinct → jaccard 0.4.
+        assert!((f.get("jaccard_similarity") - 2.0 / 5.0).abs() < 1e-9);
+        assert_eq!(f.get("key_is_string"), 1.0);
+        assert_eq!(f.get("leftness_abs_left"), 0.0);
+        assert_eq!(f.get("single_column"), 1.0);
+    }
+
+    #[test]
+    fn accidental_integer_containment_scores_high_overlap_low_range_signal() {
+        // rank 1..=4 fully contains weeks {1,2,3}: high containment, but the
+        // int-type indicator (not string) lets the model discount it.
+        let (l, r) = books();
+        let f = join_features(&l, &r, &JoinCandidate { left_cols: vec![1], right_cols: vec![1] });
+        assert_eq!(f.get("containment_right_in_left"), 1.0);
+        assert_eq!(f.get("key_is_string"), 0.0);
+        assert_eq!(f.get("key_is_int"), 1.0);
+    }
+
+    #[test]
+    fn distinct_ratio_detects_keys() {
+        let (l, r) = books();
+        let f = join_features(&l, &r, &JoinCandidate { left_cols: vec![0], right_cols: vec![0] });
+        assert_eq!(f.get("distinct_ratio_left"), 1.0);
+        assert_eq!(f.get("distinct_ratio_right"), 1.0);
+    }
+
+    #[test]
+    fn range_overlap_for_disjoint_int_ranges_is_zero() {
+        let l = DataFrame::from_columns(vec![("a", (0..10).map(Value::Int).collect())]).unwrap();
+        let r = DataFrame::from_columns(vec![(
+            "b",
+            (100..110).map(Value::Int).collect(),
+        )])
+        .unwrap();
+        let f = join_features(&l, &r, &JoinCandidate { left_cols: vec![0], right_cols: vec![0] });
+        assert_eq!(f.get("range_overlap"), 0.0);
+    }
+
+    #[test]
+    fn multi_column_candidate_features() {
+        let l = DataFrame::from_columns(vec![
+            ("a", (0..6).map(Value::Int).collect()),
+            ("b", (0..6).map(|i| Value::Int(i % 2)).collect()),
+        ])
+        .unwrap();
+        let f = join_features(
+            &l,
+            &l.clone(),
+            &JoinCandidate { left_cols: vec![0, 1], right_cols: vec![0, 1] },
+        );
+        assert_eq!(f.get("single_column"), 0.0);
+        assert_eq!(f.get("jaccard_similarity"), 1.0);
+        assert_eq!(f.get("leftness_abs_left"), 0.5);
+    }
+
+    #[test]
+    fn row_ratio_is_capped() {
+        let l = DataFrame::from_columns(vec![(
+            "a",
+            (0..5000).map(|i| Value::Int(i % 50)).collect(),
+        )])
+        .unwrap();
+        let r = DataFrame::from_columns(vec![("a", (0..50).map(Value::Int).collect())]).unwrap();
+        let f = join_features(&l, &r, &JoinCandidate { left_cols: vec![0], right_cols: vec![0] });
+        assert_eq!(f.get("table_stats_row_ratio"), 100.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown join feature")]
+    fn unknown_feature_name_panics() {
+        let (l, r) = books();
+        join_features(&l, &r, &JoinCandidate { left_cols: vec![0], right_cols: vec![0] })
+            .get("bogus");
+    }
+}

@@ -1,0 +1,66 @@
+//! Feature-importance utilities (Tables 4 and 7 report *feature groups*).
+
+use std::collections::BTreeMap;
+
+/// Normalise a vector in place to sum to 1; leaves an all-zero vector
+/// untouched.
+pub fn normalize(v: &mut [f64]) {
+    let total: f64 = v.iter().sum();
+    if total > 0.0 {
+        for x in v.iter_mut() {
+            *x /= total;
+        }
+    }
+}
+
+/// Aggregate per-feature importances into named groups.
+///
+/// `groups` maps each feature index to a group label (e.g. all four
+/// value-overlap features map to `"val-overlap"`). Output is sorted by
+/// descending importance, matching the presentation of Tables 4 and 7.
+pub fn aggregate_importance(
+    importance: &[f64],
+    groups: &[(usize, &str)],
+) -> Vec<(String, f64)> {
+    let mut agg: BTreeMap<&str, f64> = BTreeMap::new();
+    for &(idx, name) in groups {
+        *agg.entry(name).or_insert(0.0) += importance.get(idx).copied().unwrap_or(0.0);
+    }
+    let mut out: Vec<(String, f64)> = agg
+        .into_iter()
+        .map(|(k, v)| (k.to_string(), v))
+        .collect();
+    out.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalize_sums_to_one() {
+        let mut v = vec![1.0, 3.0];
+        normalize(&mut v);
+        assert_eq!(v, vec![0.25, 0.75]);
+        let mut zero = vec![0.0, 0.0];
+        normalize(&mut zero);
+        assert_eq!(zero, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn aggregation_groups_and_sorts() {
+        let imp = vec![0.1, 0.2, 0.7];
+        let groups = [(0, "a"), (1, "a"), (2, "b")];
+        let out = aggregate_importance(&imp, &groups);
+        assert_eq!(out[0], ("b".to_string(), 0.7));
+        assert!((out[1].1 - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn missing_indices_contribute_zero() {
+        let out = aggregate_importance(&[0.5], &[(0, "x"), (9, "y")]);
+        assert_eq!(out[0].0, "x");
+        assert_eq!(out[1], ("y".to_string(), 0.0));
+    }
+}

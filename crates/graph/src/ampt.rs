@@ -1,0 +1,208 @@
+//! AMPT: Affinity-Maximizing Pivot-Table (Eq. 1–4 of the paper).
+//!
+//! Given dimension columns with pairwise affinity scores, split them into
+//! index vs. header so that
+//! `intra(C) + intra(C̄) − inter(C, C̄)` is maximised, with both sides
+//! non-empty. Since `intra(C) + intra(C̄) = total − inter`, the objective
+//! equals `total − 2·inter`, so maximising it is exactly minimising the cut
+//! — Lemma 1's reduction to two-way graph cut.
+
+use crate::affinity_graph::AffinityGraph;
+use crate::stoer_wagner::min_cut;
+
+/// A bisection of the dimension columns into index and header.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AmptSolution {
+    /// Vertices assigned to the first side (by convention the index side),
+    /// sorted ascending. Always non-empty and a strict subset.
+    pub index: Vec<usize>,
+    /// Vertices on the other side (the header side), sorted ascending.
+    pub header: Vec<usize>,
+    /// The AMPT objective value (Eq. 1) of this split.
+    pub objective: f64,
+}
+
+impl AmptSolution {
+    fn from_mask(g: &AffinityGraph, in_first: &[bool]) -> AmptSolution {
+        let index: Vec<usize> = (0..g.len()).filter(|&v| in_first[v]).collect();
+        let header: Vec<usize> = (0..g.len()).filter(|&v| !in_first[v]).collect();
+        AmptSolution {
+            objective: ampt_objective(g, in_first),
+            index,
+            header,
+        }
+    }
+
+    /// Membership mask (`true` = index side).
+    pub fn mask(&self, n: usize) -> Vec<bool> {
+        let mut m = vec![false; n];
+        for &v in &self.index {
+            m[v] = true;
+        }
+        m
+    }
+}
+
+/// Evaluate the AMPT objective (Eq. 1) for a given split.
+pub fn ampt_objective(g: &AffinityGraph, in_first: &[bool]) -> f64 {
+    g.total_weight() - 2.0 * g.cut_weight(in_first)
+}
+
+/// Solve AMPT exactly by enumerating all `2^(n-1) − 1` bisections.
+///
+/// Handles arbitrary (including negative) affinities; practical because
+/// pivot tables rarely have more than a dozen dimension columns. Returns
+/// `None` when `n < 2` (no non-trivial bisection exists). Ties are broken
+/// toward the lexicographically smallest first side containing vertex 0,
+/// making results deterministic.
+pub fn ampt_exact(g: &AffinityGraph) -> Option<AmptSolution> {
+    let n = g.len();
+    if n < 2 {
+        return None;
+    }
+    assert!(n <= 26, "exact AMPT enumerates 2^(n-1) splits; use ampt_min_cut for n > 26");
+    let mut best: Option<AmptSolution> = None;
+    // Fix vertex 0 on the first side to halve the space (sides are symmetric).
+    for mask in 0..(1u64 << (n - 1)) {
+        let in_first: Vec<bool> = (0..n)
+            .map(|v| v == 0 || (mask >> (v - 1)) & 1 == 1)
+            .collect();
+        if in_first.iter().all(|&b| b) {
+            continue; // header side must be non-empty
+        }
+        let cand = AmptSolution::from_mask(g, &in_first);
+        if best.as_ref().is_none_or(|b| cand.objective > b.objective) {
+            best = Some(cand);
+        }
+    }
+    best
+}
+
+/// Solve AMPT via global min-cut (Lemma 1).
+///
+/// Affinities may be negative (the regression labels are ±1), while
+/// Stoer–Wagner needs non-negative weights, so weights are shifted by the
+/// graph minimum first. The shift perturbs the objective by an amount that
+/// depends on the partition sizes, so this is the fast *approximation* the
+/// paper's reduction yields in the presence of negative scores; it is exact
+/// whenever all affinities are non-negative. The ablation bench
+/// (`repro ablation-ampt`) quantifies the gap against [`ampt_exact`].
+pub fn ampt_min_cut(g: &AffinityGraph) -> Option<AmptSolution> {
+    let n = g.len();
+    if n < 2 {
+        return None;
+    }
+    let shift = (-g.min_weight()).max(0.0);
+    let mut shifted = AffinityGraph::new(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            shifted.set(u, v, g.weight(u, v) + shift);
+        }
+    }
+    let cut = min_cut(&shifted)?;
+    let mut in_first = vec![false; n];
+    for &v in &cut.partition {
+        in_first[v] = true;
+    }
+    // Canonical orientation: vertex 0 on the first side.
+    if !in_first[0] {
+        for b in in_first.iter_mut() {
+            *b = !*b;
+        }
+    }
+    Some(AmptSolution::from_mask(g, &in_first))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Fig. 10 of the paper: Sector(0), Ticker(1), Company(2), Year(3).
+    fn fig10() -> AffinityGraph {
+        AffinityGraph::from_edges(
+            4,
+            &[
+                (0, 1, 0.6),
+                (0, 2, 0.6),
+                (1, 2, 0.9),
+                (0, 3, 0.1),
+                (1, 3, -0.1),
+                (2, 3, -0.1),
+            ],
+        )
+    }
+
+    #[test]
+    fn paper_example_5_cuts_year_alone() {
+        let sol = ampt_exact(&fig10()).unwrap();
+        // Example 5: best split = {Sector, Ticker, Company} | {Year},
+        // objective 2.2.
+        assert_eq!(sol.index, vec![0, 1, 2]);
+        assert_eq!(sol.header, vec![3]);
+        assert!((sol.objective - 2.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn objective_identity_total_minus_twice_cut() {
+        let g = fig10();
+        let in_first = [true, false, true, false];
+        let direct = g.intra_weight(&[0, 2]) + g.intra_weight(&[1, 3])
+            - g.cut_weight(&in_first);
+        assert!((ampt_objective(&g, &in_first) - direct).abs() < 1e-12);
+    }
+
+    #[test]
+    fn min_cut_matches_exact_on_nonnegative_graphs() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        for trial in 0..25 {
+            let n = 3 + (trial % 6);
+            let mut g = AffinityGraph::new(n);
+            for u in 0..n {
+                for v in (u + 1)..n {
+                    g.set(u, v, rng.random_range(0.0..1.0));
+                }
+            }
+            let exact = ampt_exact(&g).unwrap();
+            let fast = ampt_min_cut(&g).unwrap();
+            assert!(
+                (exact.objective - fast.objective).abs() < 1e-9,
+                "trial {trial}: exact {} vs min-cut {}",
+                exact.objective,
+                fast.objective
+            );
+        }
+    }
+
+    #[test]
+    fn min_cut_on_fig10_still_finds_paper_split() {
+        let sol = ampt_min_cut(&fig10()).unwrap();
+        assert_eq!(sol.index, vec![0, 1, 2]);
+        assert_eq!(sol.header, vec![3]);
+    }
+
+    #[test]
+    fn two_vertices_split_one_each() {
+        let g = AffinityGraph::from_edges(2, &[(0, 1, -0.5)]);
+        let sol = ampt_exact(&g).unwrap();
+        assert_eq!(sol.index.len(), 1);
+        assert_eq!(sol.header.len(), 1);
+        assert!((sol.objective - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singleton_graph_has_no_solution() {
+        assert!(ampt_exact(&AffinityGraph::new(1)).is_none());
+        assert!(ampt_min_cut(&AffinityGraph::new(1)).is_none());
+    }
+
+    #[test]
+    fn solution_sides_partition_vertices() {
+        let g = fig10();
+        let sol = ampt_exact(&g).unwrap();
+        let mut all: Vec<usize> = sol.index.iter().chain(&sol.header).copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, vec![0, 1, 2, 3]);
+        assert!(!sol.index.is_empty() && !sol.header.is_empty());
+    }
+}

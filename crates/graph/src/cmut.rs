@@ -1,0 +1,220 @@
+//! CMUT: Compatibility-Maximizing Unpivot-Table (Eq. 5–7 of the paper).
+//!
+//! Select the subset of columns to collapse in an Unpivot so that the
+//! *average* intra-subset compatibility is maximised while the *average*
+//! compatibility between selected and unselected columns is minimised.
+//! Theorem 2 shows the problem NP-complete (from Densest Subgraph), so the
+//! paper solves it with the greedy below; [`cmut_exhaustive`] provides the
+//! exact reference used by the ablation bench on small instances.
+
+use crate::affinity_graph::AffinityGraph;
+
+/// A selected subset of columns to collapse.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CmutSolution {
+    /// Selected vertex ids, sorted ascending. Always `2 ≤ |selected| < n`.
+    pub selected: Vec<usize>,
+    /// The CMUT objective value (Eq. 5).
+    pub objective: f64,
+}
+
+/// Evaluate the CMUT objective (Eq. 5): mean pairwise compatibility inside
+/// `selected` minus mean compatibility across the cut. The cross term is 0
+/// when no unselected vertices remain.
+pub fn cmut_objective(g: &AffinityGraph, selected: &[usize]) -> f64 {
+    let k = selected.len();
+    assert!(k >= 2, "CMUT requires at least two selected columns");
+    let intra = g.intra_weight(selected);
+    let intra_pairs = (k * (k - 1) / 2) as f64;
+    let in_sel = {
+        let mut m = vec![false; g.len()];
+        for &v in selected {
+            m[v] = true;
+        }
+        m
+    };
+    let rest: Vec<usize> = (0..g.len()).filter(|&v| !in_sel[v]).collect();
+    let cross_pairs = (k * rest.len()) as f64;
+    let mut cross = 0.0;
+    for &u in selected {
+        for &v in &rest {
+            cross += g.weight(u, v);
+        }
+    }
+    let avg_intra = intra / intra_pairs;
+    let avg_cross = if cross_pairs > 0.0 { cross / cross_pairs } else { 0.0 };
+    avg_intra - avg_cross
+}
+
+/// The paper's greedy (§4.4, Example 7): seed with the maximum-compatibility
+/// pair, repeatedly merge the vertex most compatible with the current set,
+/// evaluate the objective at every step, and return the best prefix.
+///
+/// Only strict subsets are considered (Eq. 6 requires `C ⊂ C`); with fewer
+/// than 3 vertices there is no valid selection and `None` is returned.
+pub fn cmut_greedy(g: &AffinityGraph) -> Option<CmutSolution> {
+    let n = g.len();
+    if n < 3 {
+        return None;
+    }
+    // Seed: max-weight pair (ties broken lexicographically for determinism).
+    let mut seed = (0, 1);
+    let mut best_w = f64::NEG_INFINITY;
+    for u in 0..n {
+        for v in (u + 1)..n {
+            if g.weight(u, v) > best_w {
+                best_w = g.weight(u, v);
+                seed = (u, v);
+            }
+        }
+    }
+    let mut selected = vec![seed.0, seed.1];
+    let mut in_sel = vec![false; n];
+    in_sel[seed.0] = true;
+    in_sel[seed.1] = true;
+
+    let mut best: CmutSolution = CmutSolution {
+        selected: { let mut s = selected.clone(); s.sort_unstable(); s },
+        objective: cmut_objective(g, &selected),
+    };
+
+    while selected.len() + 1 < n {
+        // Vertex with maximum total compatibility to the current set.
+        let next = (0..n)
+            .filter(|&v| !in_sel[v])
+            .max_by(|&a, &b| {
+                let sa: f64 = selected.iter().map(|&u| g.weight(u, a)).sum();
+                let sb: f64 = selected.iter().map(|&u| g.weight(u, b)).sum();
+                sa.total_cmp(&sb).then(b.cmp(&a))
+            })
+            .expect("unselected vertex exists");
+        selected.push(next);
+        in_sel[next] = true;
+        let obj = cmut_objective(g, &selected);
+        if obj > best.objective {
+            best = CmutSolution {
+                selected: { let mut s = selected.clone(); s.sort_unstable(); s },
+                objective: obj,
+            };
+        }
+    }
+    Some(best)
+}
+
+/// Exact CMUT by enumerating every subset with `2 ≤ |C| < n`.
+/// Exponential — only for small graphs (n ≤ 20), used to validate the
+/// greedy in tests and the ablation bench.
+pub fn cmut_exhaustive(g: &AffinityGraph) -> Option<CmutSolution> {
+    let n = g.len();
+    if n < 3 {
+        return None;
+    }
+    assert!(n <= 20, "exhaustive CMUT enumerates 2^n subsets; n too large");
+    let mut best: Option<CmutSolution> = None;
+    for mask in 0..(1u32 << n) {
+        let selected: Vec<usize> = (0..n).filter(|&v| mask >> v & 1 == 1).collect();
+        if selected.len() < 2 || selected.len() == n {
+            continue;
+        }
+        let obj = cmut_objective(g, &selected);
+        if best.as_ref().is_none_or(|b| obj > b.objective) {
+            best = Some(CmutSolution { selected, objective: obj });
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Fig. 12 of the paper: Sector(0), Ticker(1), Company(2) and the year
+    /// columns 2006(3), 2007(4), 2008(5). Year columns are mutually highly
+    /// compatible (0.9); all other edges are weak (0.1).
+    fn fig12() -> AffinityGraph {
+        let mut g = AffinityGraph::new(6);
+        for u in 0..6 {
+            for v in (u + 1)..6 {
+                g.set(u, v, 0.1);
+            }
+        }
+        g.set(3, 4, 0.9);
+        g.set(3, 5, 0.9);
+        g.set(4, 5, 0.9);
+        g
+    }
+
+    #[test]
+    fn paper_example_7_selects_year_columns() {
+        let sol = cmut_greedy(&fig12()).unwrap();
+        assert_eq!(sol.selected, vec![3, 4, 5]);
+        // avg intra = 0.9; avg cross = 0.1 → objective 0.8 (Example 7).
+        assert!((sol.objective - 0.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn objective_matches_example_7_intermediate_step() {
+        // After the first greedy step ({2007, 2008} = {4, 5}):
+        // avg intra = 0.9; cross = (0.1*6 + 0.9*2)/8 = 0.3 → 0.6.
+        let g = fig12();
+        assert!((cmut_objective(&g, &[4, 5]) - 0.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn greedy_matches_exhaustive_on_fig12() {
+        let g = fig12();
+        let greedy = cmut_greedy(&g).unwrap();
+        let exact = cmut_exhaustive(&g).unwrap();
+        assert_eq!(greedy.selected, exact.selected);
+        assert!((greedy.objective - exact.objective).abs() < 1e-9);
+    }
+
+    #[test]
+    fn greedy_is_near_exact_on_random_graphs() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let mut worst_gap: f64 = 0.0;
+        for _ in 0..40 {
+            let n = 4 + (rng.random_range(0..5));
+            let mut g = AffinityGraph::new(n);
+            for u in 0..n {
+                for v in (u + 1)..n {
+                    g.set(u, v, rng.random_range(-1.0..1.0));
+                }
+            }
+            let greedy = cmut_greedy(&g).unwrap();
+            let exact = cmut_exhaustive(&g).unwrap();
+            assert!(greedy.objective <= exact.objective + 1e-9);
+            worst_gap = worst_gap.max(exact.objective - greedy.objective);
+        }
+        // The greedy is a heuristic; on small random instances it should
+        // stay within a modest factor of optimal on average.
+        assert!(worst_gap < 2.0, "greedy collapsed: worst gap {worst_gap}");
+    }
+
+    #[test]
+    fn cross_term_penalises_leaving_similar_columns_out() {
+        // Three near-identical columns; selecting only two of them leaves a
+        // highly-compatible column across the cut, lowering the objective.
+        let mut g = AffinityGraph::new(4);
+        g.set(0, 1, 0.9);
+        g.set(0, 2, 0.9);
+        g.set(1, 2, 0.9);
+        // Vertex 3 is unrelated.
+        let all3 = cmut_objective(&g, &[0, 1, 2]);
+        let only2 = cmut_objective(&g, &[0, 1]);
+        assert!(all3 > only2);
+    }
+
+    #[test]
+    fn too_small_graphs_return_none() {
+        assert!(cmut_greedy(&AffinityGraph::new(2)).is_none());
+        assert!(cmut_exhaustive(&AffinityGraph::new(2)).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn objective_requires_two_columns() {
+        cmut_objective(&AffinityGraph::new(3), &[0]);
+    }
+}

@@ -1,0 +1,76 @@
+//! Rand index for scoring predicted splits against ground truth (Table 8).
+
+/// Rand index between two assignments of the same items to clusters.
+///
+/// `RI = #correct-pairs / #total-pairs`, where a pair is *correct* when the
+/// two items are co-clustered in both assignments or separated in both
+/// (Rand 1971, the metric §6.5.4 of the paper uses to give partial credit
+/// to near-miss pivot splits). Returns 1.0 for fewer than 2 items, where
+/// every (vacuous) pair agrees.
+pub fn rand_index(predicted: &[usize], truth: &[usize]) -> f64 {
+    assert_eq!(
+        predicted.len(),
+        truth.len(),
+        "assignments must cover the same items"
+    );
+    let n = predicted.len();
+    if n < 2 {
+        return 1.0;
+    }
+    let mut correct = 0usize;
+    let mut total = 0usize;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let same_pred = predicted[i] == predicted[j];
+            let same_truth = truth[i] == truth[j];
+            if same_pred == same_truth {
+                correct += 1;
+            }
+            total += 1;
+        }
+    }
+    correct as f64 / total as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_assignments_score_one() {
+        assert_eq!(rand_index(&[0, 0, 1, 1], &[0, 0, 1, 1]), 1.0);
+        // Label names are irrelevant; only co-membership matters.
+        assert_eq!(rand_index(&[5, 5, 9, 9], &[0, 0, 1, 1]), 1.0);
+    }
+
+    #[test]
+    fn completely_swapped_pairs() {
+        // Prediction groups {0,1}{2,3}; truth groups {0,2}{1,3}.
+        // Pairs: (0,1) pred-same/truth-diff ✗, (0,2) diff/same ✗,
+        // (0,3) diff/diff ✓, (1,2) diff/diff ✓, (1,3) diff/same ✗,
+        // (2,3) same/diff ✗ → 2/6.
+        let ri = rand_index(&[0, 0, 1, 1], &[0, 1, 0, 1]);
+        assert!((ri - 2.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_item_is_perfect() {
+        assert_eq!(rand_index(&[0], &[1]), 1.0);
+        assert_eq!(rand_index(&[], &[]), 1.0);
+    }
+
+    #[test]
+    fn one_misplaced_item() {
+        // 5 items, prediction moves item 4 across.
+        let ri = rand_index(&[0, 0, 0, 1, 1], &[0, 0, 0, 1, 0]);
+        // Disagreeing pairs: (0,4),(1,4),(2,4) same-truth/diff-pred... ✗ and
+        // (3,4) same-pred/diff-truth ✗ → 4 wrong of 10.
+        assert!((ri - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "same items")]
+    fn mismatched_lengths_panic() {
+        rand_index(&[0, 1], &[0]);
+    }
+}

@@ -1,0 +1,180 @@
+//! Stoer–Wagner global minimum cut.
+//!
+//! The classic O(V³) algorithm from Stoer & Wagner, *A simple min-cut
+//! algorithm* (JACM 1997) — the solver Lemma 1 of the paper invokes for
+//! AMPT. Operates on non-negative edge weights; the AMPT wrapper shifts
+//! affinity scores into the non-negative range before calling in here.
+
+use crate::affinity_graph::AffinityGraph;
+
+/// Result of a global min-cut: the vertices on one side and the cut weight.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MinCut {
+    /// Vertices on one (the lighter-to-describe) side of the cut, sorted.
+    pub partition: Vec<usize>,
+    /// Total weight of edges crossing the cut.
+    pub weight: f64,
+}
+
+/// Compute the global minimum cut of `g` (all weights must be ≥ 0).
+///
+/// Returns `None` for graphs with fewer than 2 vertices, which have no cut.
+pub fn min_cut(g: &AffinityGraph) -> Option<MinCut> {
+    let n = g.len();
+    if n < 2 {
+        return None;
+    }
+    // Working copy of the weight matrix; vertices get merged in place.
+    let mut w: Vec<Vec<f64>> = (0..n)
+        .map(|u| (0..n).map(|v| g.weight(u, v)).collect())
+        .collect();
+    for (u, row) in w.iter().enumerate() {
+        for (v, &weight) in row.iter().enumerate() {
+            debug_assert!(
+                u == v || weight >= 0.0,
+                "Stoer–Wagner requires non-negative weights"
+            );
+        }
+    }
+    // `groups[v]` = original vertices merged into the super-vertex v.
+    let mut groups: Vec<Vec<usize>> = (0..n).map(|v| vec![v]).collect();
+    let mut active: Vec<usize> = (0..n).collect();
+
+    let mut best: Option<MinCut> = None;
+
+    while active.len() > 1 {
+        // Minimum cut phase: maximum-adjacency ordering.
+        let mut in_a = vec![false; n];
+        let mut key = vec![0.0f64; n];
+        let start = active[0];
+        in_a[start] = true;
+        for &v in &active {
+            key[v] = w[start][v];
+        }
+        let mut prev = start;
+        let mut last = start;
+        for _ in 1..active.len() {
+            // Most tightly connected unvisited vertex.
+            let next = active
+                .iter()
+                .copied()
+                .filter(|&v| !in_a[v])
+                .max_by(|&a, &b| key[a].total_cmp(&key[b]))
+                .expect("unvisited vertex exists");
+            in_a[next] = true;
+            prev = last;
+            last = next;
+            for &v in &active {
+                if !in_a[v] {
+                    key[v] += w[next][v];
+                }
+            }
+        }
+        // Cut-of-the-phase: `last` alone against the rest.
+        let phase_weight = key[last];
+        let candidate = MinCut { partition: { let mut p = groups[last].clone(); p.sort_unstable(); p }, weight: phase_weight };
+        if best.as_ref().is_none_or(|b| candidate.weight < b.weight) {
+            best = Some(candidate);
+        }
+        // Merge `last` into `prev`.
+        for &v in &active {
+            if v != prev && v != last {
+                let sum = w[prev][v] + w[last][v];
+                w[prev][v] = sum;
+                w[v][prev] = sum;
+            }
+        }
+        let moved = std::mem::take(&mut groups[last]);
+        groups[prev].extend(moved);
+        active.retain(|&v| v != last);
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_vertices() {
+        let g = AffinityGraph::from_edges(2, &[(0, 1, 3.0)]);
+        let cut = min_cut(&g).unwrap();
+        assert_eq!(cut.weight, 3.0);
+        assert_eq!(cut.partition.len(), 1);
+    }
+
+    #[test]
+    fn wikipedia_example() {
+        // The 8-vertex example from the Stoer–Wagner paper; min cut = 4.
+        let edges = [
+            (0, 1, 2.0),
+            (0, 4, 3.0),
+            (1, 2, 3.0),
+            (1, 4, 2.0),
+            (1, 5, 2.0),
+            (2, 3, 4.0),
+            (2, 6, 2.0),
+            (3, 6, 2.0),
+            (3, 7, 2.0),
+            (4, 5, 3.0),
+            (5, 6, 1.0),
+            (6, 7, 3.0),
+        ];
+        let g = AffinityGraph::from_edges(8, &edges);
+        let cut = min_cut(&g).unwrap();
+        assert_eq!(cut.weight, 4.0);
+        // The known optimal cut separates {2,3,6,7} from {0,1,4,5}.
+        let mut side = cut.partition.clone();
+        if !side.contains(&2) {
+            side = (0..8).filter(|v| !side.contains(v)).collect();
+        }
+        assert_eq!(side, vec![2, 3, 6, 7]);
+    }
+
+    #[test]
+    fn disconnected_graph_has_zero_cut() {
+        let g = AffinityGraph::from_edges(4, &[(0, 1, 5.0), (2, 3, 5.0)]);
+        let cut = min_cut(&g).unwrap();
+        assert_eq!(cut.weight, 0.0);
+    }
+
+    #[test]
+    fn star_graph_cuts_a_leaf() {
+        let g = AffinityGraph::from_edges(5, &[(0, 1, 1.0), (0, 2, 2.0), (0, 3, 3.0), (0, 4, 4.0)]);
+        let cut = min_cut(&g).unwrap();
+        assert_eq!(cut.weight, 1.0);
+        assert_eq!(cut.partition, vec![1]);
+    }
+
+    #[test]
+    fn tiny_graphs_return_none() {
+        assert!(min_cut(&AffinityGraph::new(0)).is_none());
+        assert!(min_cut(&AffinityGraph::new(1)).is_none());
+    }
+
+    #[test]
+    fn matches_exhaustive_on_random_graphs() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        for trial in 0..30 {
+            let n = 3 + (trial % 5);
+            let mut g = AffinityGraph::new(n);
+            for u in 0..n {
+                for v in (u + 1)..n {
+                    g.set(u, v, rng.random_range(0.0..5.0));
+                }
+            }
+            let sw = min_cut(&g).unwrap().weight;
+            // Exhaustive minimum over all non-trivial bipartitions.
+            let mut best = f64::INFINITY;
+            for mask in 1..(1u32 << n) - 1 {
+                let in_first: Vec<bool> = (0..n).map(|v| mask >> v & 1 == 1).collect();
+                best = best.min(g.cut_weight(&in_first));
+            }
+            assert!(
+                (sw - best).abs() < 1e-9,
+                "trial {trial}: stoer-wagner {sw} vs exhaustive {best}"
+            );
+        }
+    }
+}

@@ -1,0 +1,98 @@
+//! The Adam optimiser (Kingma & Ba, 2015).
+
+use serde::{Deserialize, Serialize};
+
+/// Adam state over a fixed set of parameter tensors, addressed by slot.
+///
+/// Usage per step: call [`Adam::begin_step`] once, then [`Adam::update`]
+/// for each (parameter, gradient) pair using a stable slot id.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Adam {
+    pub lr: f64,
+    pub beta1: f64,
+    pub beta2: f64,
+    pub eps: f64,
+    t: u64,
+    m: Vec<Vec<f64>>,
+    v: Vec<Vec<f64>>,
+}
+
+impl Adam {
+    /// `sizes[i]` is the element count of the tensor registered at slot `i`.
+    pub fn new(lr: f64, sizes: &[usize]) -> Self {
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+            m: sizes.iter().map(|&s| vec![0.0; s]).collect(),
+            v: sizes.iter().map(|&s| vec![0.0; s]).collect(),
+        }
+    }
+
+    /// Advance the global step (bias-correction counter).
+    pub fn begin_step(&mut self) {
+        self.t += 1;
+    }
+
+    /// Apply one Adam update to the tensor registered at `slot`.
+    pub fn update(&mut self, slot: usize, param: &mut [f64], grad: &[f64]) {
+        assert!(self.t > 0, "call begin_step before update");
+        assert_eq!(param.len(), grad.len());
+        let m = &mut self.m[slot];
+        let v = &mut self.v[slot];
+        assert_eq!(m.len(), param.len(), "slot {slot} size mismatch");
+        let b1t = 1.0 - self.beta1.powi(self.t as i32);
+        let b2t = 1.0 - self.beta2.powi(self.t as i32);
+        for i in 0..param.len() {
+            m[i] = self.beta1 * m[i] + (1.0 - self.beta1) * grad[i];
+            v[i] = self.beta2 * v[i] + (1.0 - self.beta2) * grad[i] * grad[i];
+            let mhat = m[i] / b1t;
+            let vhat = v[i] / b2t;
+            param[i] -= self.lr * mhat / (vhat.sqrt() + self.eps);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimises_a_quadratic() {
+        // f(x) = (x - 3)^2, df/dx = 2(x - 3).
+        let mut x = vec![0.0];
+        let mut opt = Adam::new(0.1, &[1]);
+        for _ in 0..500 {
+            let g = vec![2.0 * (x[0] - 3.0)];
+            opt.begin_step();
+            opt.update(0, &mut x, &g);
+        }
+        assert!((x[0] - 3.0).abs() < 1e-3, "converged to {}", x[0]);
+    }
+
+    #[test]
+    fn multiple_slots_are_independent() {
+        let mut a = vec![0.0];
+        let mut b = vec![10.0];
+        let mut opt = Adam::new(0.05, &[1, 1]);
+        for _ in 0..800 {
+            opt.begin_step();
+            let ga = vec![2.0 * (a[0] - 1.0)];
+            opt.update(0, &mut a, &ga);
+            let gb = vec![2.0 * (b[0] + 2.0)];
+            opt.update(1, &mut b, &gb);
+        }
+        assert!((a[0] - 1.0).abs() < 1e-2);
+        assert!((b[0] + 2.0).abs() < 1e-2);
+    }
+
+    #[test]
+    #[should_panic(expected = "begin_step")]
+    fn update_before_step_panics() {
+        let mut opt = Adam::new(0.1, &[1]);
+        let mut p = vec![0.0];
+        opt.update(0, &mut p, &[1.0]);
+    }
+}

@@ -1,0 +1,217 @@
+//! Small dense layers and activations.
+//!
+//! Everything here is deliberately plain `Vec<f64>` math: the next-operator
+//! model has a 7-symbol vocabulary and a few thousand parameters, so clarity
+//! beats BLAS.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A dense affine layer `y = x·W + b` with accumulated gradients.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Dense {
+    pub in_dim: usize,
+    pub out_dim: usize,
+    /// Row-major `in_dim × out_dim`.
+    pub w: Vec<f64>,
+    pub b: Vec<f64>,
+    pub dw: Vec<f64>,
+    pub db: Vec<f64>,
+}
+
+impl Dense {
+    /// Xavier-uniform initialisation.
+    pub fn new<R: Rng>(in_dim: usize, out_dim: usize, rng: &mut R) -> Self {
+        let scale = (6.0 / (in_dim + out_dim) as f64).sqrt();
+        Dense {
+            in_dim,
+            out_dim,
+            w: (0..in_dim * out_dim)
+                .map(|_| rng.random_range(-scale..scale))
+                .collect(),
+            b: vec![0.0; out_dim],
+            dw: vec![0.0; in_dim * out_dim],
+            db: vec![0.0; out_dim],
+        }
+    }
+
+    /// Forward pass for a single example.
+    pub fn forward(&self, x: &[f64]) -> Vec<f64> {
+        debug_assert_eq!(x.len(), self.in_dim);
+        let mut y = self.b.clone();
+        for (i, &xi) in x.iter().enumerate() {
+            if xi == 0.0 {
+                continue;
+            }
+            let row = &self.w[i * self.out_dim..(i + 1) * self.out_dim];
+            for (yj, wj) in y.iter_mut().zip(row) {
+                *yj += xi * wj;
+            }
+        }
+        y
+    }
+
+    /// Backward pass: accumulate `dW`, `db` and return `dx`.
+    pub fn backward(&mut self, x: &[f64], dy: &[f64]) -> Vec<f64> {
+        debug_assert_eq!(dy.len(), self.out_dim);
+        let mut dx = vec![0.0; self.in_dim];
+        for i in 0..self.in_dim {
+            let row = &self.w[i * self.out_dim..(i + 1) * self.out_dim];
+            let drow = &mut self.dw[i * self.out_dim..(i + 1) * self.out_dim];
+            let xi = x[i];
+            let mut acc = 0.0;
+            for j in 0..self.out_dim {
+                acc += row[j] * dy[j];
+                drow[j] += xi * dy[j];
+            }
+            dx[i] = acc;
+        }
+        for (dbj, dyj) in self.db.iter_mut().zip(dy) {
+            *dbj += dyj;
+        }
+        dx
+    }
+
+    /// Zero accumulated gradients.
+    pub fn zero_grad(&mut self) {
+        self.dw.iter_mut().for_each(|g| *g = 0.0);
+        self.db.iter_mut().for_each(|g| *g = 0.0);
+    }
+}
+
+/// An embedding table mapping symbol ids to dense vectors.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Embedding {
+    pub vocab: usize,
+    pub dim: usize,
+    /// Row-major `vocab × dim`.
+    pub table: Vec<f64>,
+    pub grad: Vec<f64>,
+}
+
+impl Embedding {
+    pub fn new<R: Rng>(vocab: usize, dim: usize, rng: &mut R) -> Self {
+        let scale = (1.0 / dim as f64).sqrt();
+        Embedding {
+            vocab,
+            dim,
+            table: (0..vocab * dim)
+                .map(|_| rng.random_range(-scale..scale))
+                .collect(),
+            grad: vec![0.0; vocab * dim],
+        }
+    }
+
+    /// The embedding vector for symbol `id`.
+    pub fn lookup(&self, id: usize) -> &[f64] {
+        assert!(id < self.vocab, "symbol id {id} out of vocabulary");
+        &self.table[id * self.dim..(id + 1) * self.dim]
+    }
+
+    /// Accumulate gradient for symbol `id`.
+    pub fn backward(&mut self, id: usize, d: &[f64]) {
+        let row = &mut self.grad[id * self.dim..(id + 1) * self.dim];
+        for (g, dj) in row.iter_mut().zip(d) {
+            *g += dj;
+        }
+    }
+
+    pub fn zero_grad(&mut self) {
+        self.grad.iter_mut().for_each(|g| *g = 0.0);
+    }
+}
+
+/// Numerically-stable softmax.
+pub fn softmax(logits: &[f64]) -> Vec<f64> {
+    let max = logits.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let exps: Vec<f64> = logits.iter().map(|&z| (z - max).exp()).collect();
+    let sum: f64 = exps.iter().sum();
+    exps.into_iter().map(|e| e / sum).collect()
+}
+
+/// ReLU applied element-wise, returning the activated vector.
+pub fn relu(x: &[f64]) -> Vec<f64> {
+    x.iter().map(|&v| v.max(0.0)).collect()
+}
+
+/// Gradient of ReLU: passes `dy` where the forward activation was positive.
+pub fn relu_backward(activated: &[f64], dy: &[f64]) -> Vec<f64> {
+    activated
+        .iter()
+        .zip(dy)
+        .map(|(&a, &d)| if a > 0.0 { d } else { 0.0 })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(0)
+    }
+
+    #[test]
+    fn dense_forward_identity_weights() {
+        let mut d = Dense::new(2, 2, &mut rng());
+        d.w = vec![1.0, 0.0, 0.0, 1.0];
+        d.b = vec![0.5, -0.5];
+        assert_eq!(d.forward(&[2.0, 3.0]), vec![2.5, 2.5]);
+    }
+
+    #[test]
+    fn dense_backward_gradients_match_finite_difference() {
+        let mut d = Dense::new(3, 2, &mut rng());
+        let x = [0.3, -0.7, 1.1];
+        let dy = [1.0, -2.0];
+        let dx = d.backward(&x, &dy);
+        // Finite-difference check on one weight and the input gradient.
+        let eps = 1e-6;
+        let loss = |d: &Dense, x: &[f64]| -> f64 {
+            let y = d.forward(x);
+            y[0] * dy[0] + y[1] * dy[1]
+        };
+        let mut d2 = d.clone();
+        d2.w[2] += eps; // weight (0, cols=2 → row 0, col 0? index 2 = row1,col0)
+        let num = (loss(&d2, &x) - loss(&d, &x)) / eps;
+        assert!((num - d.dw[2]).abs() < 1e-4, "num {num} vs analytic {}", d.dw[2]);
+        let mut xp = x;
+        xp[1] += eps;
+        let numx = (loss(&d, &xp) - loss(&d, &x)) / eps;
+        assert!((numx - dx[1]).abs() < 1e-4);
+    }
+
+    #[test]
+    fn embedding_lookup_and_grad() {
+        let mut e = Embedding::new(4, 3, &mut rng());
+        let v = e.lookup(2).to_vec();
+        assert_eq!(v.len(), 3);
+        e.backward(2, &[1.0, 1.0, 1.0]);
+        e.backward(2, &[1.0, 0.0, 0.0]);
+        assert_eq!(e.grad[2 * 3], 2.0);
+        assert_eq!(e.grad[0], 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of vocabulary")]
+    fn embedding_oov_panics() {
+        Embedding::new(2, 2, &mut rng()).lookup(5);
+    }
+
+    #[test]
+    fn softmax_sums_to_one_and_is_stable() {
+        let p = softmax(&[1000.0, 1000.0, 999.0]);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(p[0] > p[2]);
+        assert!(p.iter().all(|&x| x.is_finite()));
+    }
+
+    #[test]
+    fn relu_and_its_gradient() {
+        let a = relu(&[-1.0, 0.0, 2.0]);
+        assert_eq!(a, vec![0.0, 0.0, 2.0]);
+        let g = relu_backward(&a, &[5.0, 5.0, 5.0]);
+        assert_eq!(g, vec![0.0, 0.0, 5.0]);
+    }
+}

@@ -1,0 +1,348 @@
+//! The next-operator network of Fig. 13: embedding → ReLU RNN → concat
+//! single-operator scores → MLP → softmax.
+
+use crate::adam::Adam;
+use crate::layers::{relu, relu_backward, softmax, Dense, Embedding};
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Hyper-parameters of the [`RnnClassifier`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RnnConfig {
+    /// Input vocabulary size (operator symbols, including the BOS marker).
+    pub vocab: usize,
+    /// Embedding dimension.
+    pub embed_dim: usize,
+    /// RNN hidden state dimension.
+    pub hidden_dim: usize,
+    /// Length of the auxiliary feature vector concatenated to the final
+    /// hidden state (the single-operator prediction scores; 0 recovers the
+    /// sequence-only RNN baseline of Table 11).
+    pub extra_dim: usize,
+    /// Hidden width of the output MLP.
+    pub mlp_hidden: usize,
+    /// Number of output classes (operators to predict).
+    pub classes: usize,
+    /// Adam learning rate.
+    pub lr: f64,
+    /// Training epochs over the full example set.
+    pub epochs: usize,
+    /// RNG seed for initialisation and shuffling (full determinism).
+    pub seed: u64,
+}
+
+impl Default for RnnConfig {
+    fn default() -> Self {
+        RnnConfig {
+            vocab: 8,
+            embed_dim: 16,
+            hidden_dim: 32,
+            extra_dim: 0,
+            mlp_hidden: 32,
+            classes: 7,
+            lr: 5e-3,
+            epochs: 30,
+            seed: 0,
+        }
+    }
+}
+
+/// One training example: an operator-id prefix, auxiliary features for the
+/// current table, and the id of the operator that actually came next.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SequenceExample {
+    pub prefix: Vec<usize>,
+    pub extra: Vec<f64>,
+    pub label: usize,
+}
+
+/// An Elman RNN classifier with ReLU activations, trained by full BPTT with
+/// Adam and gradient clipping.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RnnClassifier {
+    cfg: RnnConfig,
+    emb: Embedding,
+    x2h: Dense,
+    h2h: Dense,
+    l1: Dense,
+    l2: Dense,
+}
+
+impl RnnClassifier {
+    pub fn new(cfg: RnnConfig) -> Self {
+        assert!(cfg.vocab > 0 && cfg.classes > 0);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(cfg.seed);
+        RnnClassifier {
+            emb: Embedding::new(cfg.vocab, cfg.embed_dim, &mut rng),
+            x2h: Dense::new(cfg.embed_dim, cfg.hidden_dim, &mut rng),
+            h2h: Dense::new(cfg.hidden_dim, cfg.hidden_dim, &mut rng),
+            l1: Dense::new(cfg.hidden_dim + cfg.extra_dim, cfg.mlp_hidden, &mut rng),
+            l2: Dense::new(cfg.mlp_hidden, cfg.classes, &mut rng),
+            cfg,
+        }
+    }
+
+    pub fn config(&self) -> &RnnConfig {
+        &self.cfg
+    }
+
+    /// Run the RNN over `prefix` and return all hidden states (index 0 is
+    /// the initial zero state, so `hs.len() == prefix.len() + 1`).
+    fn run_rnn(&self, prefix: &[usize]) -> Vec<Vec<f64>> {
+        let mut hs = vec![vec![0.0; self.cfg.hidden_dim]];
+        for &sym in prefix {
+            let x = self.emb.lookup(sym);
+            let mut pre = self.x2h.forward(x);
+            let rec = self.h2h.forward(hs.last().expect("state"));
+            for (p, r) in pre.iter_mut().zip(&rec) {
+                *p += r;
+            }
+            hs.push(relu(&pre));
+        }
+        hs
+    }
+
+    /// Class probabilities for a prefix + auxiliary features.
+    ///
+    /// An empty prefix is valid (prediction for the first step): the MLP
+    /// sees the zero initial state.
+    pub fn predict_proba(&self, prefix: &[usize], extra: &[f64]) -> Vec<f64> {
+        assert_eq!(extra.len(), self.cfg.extra_dim, "extra feature arity");
+        let hs = self.run_rnn(prefix);
+        let h_final = hs.last().expect("state");
+        let mut joint = h_final.clone();
+        joint.extend_from_slice(extra);
+        let a1 = relu(&self.l1.forward(&joint));
+        softmax(&self.l2.forward(&a1))
+    }
+
+    /// Classes sorted by descending probability.
+    pub fn predict_ranked(&self, prefix: &[usize], extra: &[f64]) -> Vec<usize> {
+        let p = self.predict_proba(prefix, extra);
+        let mut order: Vec<usize> = (0..p.len()).collect();
+        order.sort_by(|&a, &b| p[b].total_cmp(&p[a]).then(a.cmp(&b)));
+        order
+    }
+
+    /// Train with per-example Adam steps; returns the mean cross-entropy of
+    /// the final epoch.
+    pub fn train(&mut self, examples: &[SequenceExample]) -> f64 {
+        assert!(!examples.is_empty(), "no training examples");
+        for ex in examples {
+            assert!(ex.label < self.cfg.classes);
+            assert_eq!(ex.extra.len(), self.cfg.extra_dim);
+            assert!(ex.prefix.iter().all(|&s| s < self.cfg.vocab));
+        }
+        let sizes = [
+            self.emb.table.len(),
+            self.x2h.w.len(),
+            self.x2h.b.len(),
+            self.h2h.w.len(),
+            self.h2h.b.len(),
+            self.l1.w.len(),
+            self.l1.b.len(),
+            self.l2.w.len(),
+            self.l2.b.len(),
+        ];
+        let mut opt = Adam::new(self.cfg.lr, &sizes);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(self.cfg.seed ^ 0x5eed);
+        let mut order: Vec<usize> = (0..examples.len()).collect();
+        let mut last_epoch_loss = f64::INFINITY;
+        for _ in 0..self.cfg.epochs {
+            order.shuffle(&mut rng);
+            let mut loss_sum = 0.0;
+            for &i in &order {
+                loss_sum += self.step(&examples[i], &mut opt);
+            }
+            last_epoch_loss = loss_sum / examples.len() as f64;
+        }
+        last_epoch_loss
+    }
+
+    /// One forward/backward/update pass; returns the example loss.
+    fn step(&mut self, ex: &SequenceExample, opt: &mut Adam) -> f64 {
+        self.emb.zero_grad();
+        self.x2h.zero_grad();
+        self.h2h.zero_grad();
+        self.l1.zero_grad();
+        self.l2.zero_grad();
+
+        // Forward.
+        let hs = self.run_rnn(&ex.prefix);
+        let h_final = hs.last().expect("state").clone();
+        let mut joint = h_final.clone();
+        joint.extend_from_slice(&ex.extra);
+        let a1 = relu(&self.l1.forward(&joint));
+        let logits = self.l2.forward(&a1);
+        let probs = softmax(&logits);
+        let loss = -probs[ex.label].max(1e-12).ln();
+
+        // Backward: softmax CE.
+        let mut dlogits = probs;
+        dlogits[ex.label] -= 1.0;
+        let da1 = self.l2.backward(&a1, &dlogits);
+        let dz1 = relu_backward(&a1, &da1);
+        let djoint = self.l1.backward(&joint, &dz1);
+        let mut dh = djoint[..self.cfg.hidden_dim].to_vec();
+        // (gradients w.r.t. `extra` are discarded — those features come from
+        // the frozen single-operator models)
+
+        // BPTT.
+        for t in (0..ex.prefix.len()).rev() {
+            let h_t = &hs[t + 1];
+            let dpre = relu_backward(h_t, &dh);
+            let x = self.emb.lookup(ex.prefix[t]).to_vec();
+            let dx = self.x2h.backward(&x, &dpre);
+            let dh_prev = self.h2h.backward(&hs[t], &dpre);
+            self.emb.backward(ex.prefix[t], &dx);
+            dh = dh_prev;
+        }
+
+        // Clip the global gradient norm.
+        clip_grads(
+            &mut [
+                &mut self.emb.grad,
+                &mut self.x2h.dw,
+                &mut self.x2h.db,
+                &mut self.h2h.dw,
+                &mut self.h2h.db,
+                &mut self.l1.dw,
+                &mut self.l1.db,
+                &mut self.l2.dw,
+                &mut self.l2.db,
+            ],
+            5.0,
+        );
+
+        opt.begin_step();
+        opt.update(0, &mut self.emb.table, &self.emb.grad);
+        opt.update(1, &mut self.x2h.w, &self.x2h.dw);
+        opt.update(2, &mut self.x2h.b, &self.x2h.db);
+        opt.update(3, &mut self.h2h.w, &self.h2h.dw);
+        opt.update(4, &mut self.h2h.b, &self.h2h.db);
+        opt.update(5, &mut self.l1.w, &self.l1.dw);
+        opt.update(6, &mut self.l1.b, &self.l1.db);
+        opt.update(7, &mut self.l2.w, &self.l2.dw);
+        opt.update(8, &mut self.l2.b, &self.l2.db);
+        loss
+    }
+}
+
+/// Scale all gradients so their joint L2 norm is at most `max_norm`.
+fn clip_grads(grads: &mut [&mut Vec<f64>], max_norm: f64) {
+    let norm: f64 = grads
+        .iter()
+        .flat_map(|g| g.iter())
+        .map(|&v| v * v)
+        .sum::<f64>()
+        .sqrt();
+    if norm > max_norm {
+        let scale = max_norm / norm;
+        for g in grads.iter_mut() {
+            for v in g.iter_mut() {
+                *v *= scale;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cfg(extra_dim: usize) -> RnnConfig {
+        RnnConfig {
+            vocab: 4,
+            embed_dim: 8,
+            hidden_dim: 12,
+            extra_dim,
+            mlp_hidden: 12,
+            classes: 4,
+            lr: 1e-2,
+            epochs: 60,
+            seed: 3,
+        }
+    }
+
+    #[test]
+    fn learns_identity_transition() {
+        // Next symbol = last symbol. The RNN must carry the last input.
+        let mut examples = Vec::new();
+        for a in 0..4usize {
+            for b in 0..4usize {
+                examples.push(SequenceExample { prefix: vec![a, b], extra: vec![], label: b });
+            }
+        }
+        let mut model = RnnClassifier::new(small_cfg(0));
+        let loss = model.train(&examples);
+        assert!(loss < 0.3, "final loss {loss}");
+        for ex in &examples {
+            assert_eq!(model.predict_ranked(&ex.prefix, &[])[0], ex.label);
+        }
+    }
+
+    #[test]
+    fn uses_extra_features_when_sequence_is_uninformative() {
+        // Sequence is constant; the label is encoded only in `extra`.
+        let mut examples = Vec::new();
+        for label in 0..4usize {
+            for _ in 0..8 {
+                let mut extra = vec![0.0; 4];
+                extra[label] = 1.0;
+                examples.push(SequenceExample { prefix: vec![0], extra, label });
+            }
+        }
+        let mut model = RnnClassifier::new(small_cfg(4));
+        model.train(&examples);
+        let mut extra = vec![0.0; 4];
+        extra[2] = 1.0;
+        assert_eq!(model.predict_ranked(&[0], &extra)[0], 2);
+    }
+
+    #[test]
+    fn empty_prefix_is_valid() {
+        let model = RnnClassifier::new(small_cfg(0));
+        let p = model.predict_proba(&[], &[]);
+        assert_eq!(p.len(), 4);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn training_is_deterministic_given_seed() {
+        let examples = vec![
+            SequenceExample { prefix: vec![0, 1], extra: vec![], label: 2 },
+            SequenceExample { prefix: vec![2], extra: vec![], label: 0 },
+        ];
+        let mut a = RnnClassifier::new(small_cfg(0));
+        let mut b = RnnClassifier::new(small_cfg(0));
+        let la = a.train(&examples);
+        let lb = b.train(&examples);
+        assert_eq!(la, lb);
+        assert_eq!(a.predict_proba(&[0], &[]), b.predict_proba(&[0], &[]));
+    }
+
+    #[test]
+    fn ranked_output_is_a_permutation() {
+        let model = RnnClassifier::new(small_cfg(0));
+        let mut r = model.predict_ranked(&[1, 2, 3], &[]);
+        r.sort_unstable();
+        assert_eq!(r, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn clip_scales_down_large_gradients() {
+        let mut g1 = vec![3.0, 4.0];
+        let mut g2 = vec![0.0];
+        clip_grads(&mut [&mut g1, &mut g2], 1.0);
+        let norm = (g1[0] * g1[0] + g1[1] * g1[1]).sqrt();
+        assert!((norm - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "extra feature arity")]
+    fn wrong_extra_arity_panics() {
+        let model = RnnClassifier::new(small_cfg(2));
+        model.predict_proba(&[0], &[]);
+    }
+}

@@ -1,0 +1,14 @@
+//! Evaluation metrics for ranked suggestions (§6.4 of the paper).
+//!
+//! Auto-Suggest presents predictions as ranked lists, so quality is scored
+//! with IR metrics: precision@k and NDCG@k (with the paper's convention
+//! that once every relevant item has been retrieved, lower-ranked positions
+//! are not penalised), recall@k for next-operator prediction, table-level
+//! *full-accuracy*, and set precision/recall/F1 for Unpivot column
+//! selection (Table 9).
+
+pub mod metrics;
+
+pub use metrics::{
+    full_accuracy, mean, ndcg_at_k, precision_at_k, recall_at_k, set_prf, Prf,
+};

@@ -1,0 +1,193 @@
+//! Ranking and set metrics (§6.4, Tables 3–9, 11).
+
+/// Precision@k with the paper's convention: once every relevant item in the
+/// ground truth has been retrieved, additional lower-ranked predictions are
+/// not penalised.
+///
+/// `ranked` holds relevance labels (true = relevant) in predicted order;
+/// `num_relevant` is the total number of relevant items in the ground truth.
+pub fn precision_at_k(ranked: &[bool], num_relevant: usize, k: usize) -> f64 {
+    assert!(k > 0, "k must be positive");
+    if num_relevant == 0 {
+        // Nothing to find: any ranking is vacuously perfect.
+        return 1.0;
+    }
+    let cutoff = k.min(ranked.len());
+    let hits = ranked[..cutoff].iter().filter(|&&r| r).count();
+    // If every relevant item already appears in the top-k, the denominator
+    // shrinks to the number of relevant items (no penalty for the tail).
+    let denom = if hits >= num_relevant { num_relevant.min(k) } else { k };
+    hits.min(denom) as f64 / denom as f64
+}
+
+/// NDCG@k with binary relevance labels.
+///
+/// `DCG_k = Σ rel_i / log2(i+1)` over the top-k predictions; `IDCG_k` is the
+/// DCG of the ideal ordering given `num_relevant` relevant items.
+pub fn ndcg_at_k(ranked: &[bool], num_relevant: usize, k: usize) -> f64 {
+    assert!(k > 0, "k must be positive");
+    if num_relevant == 0 {
+        return 1.0;
+    }
+    let cutoff = k.min(ranked.len());
+    let dcg: f64 = ranked[..cutoff]
+        .iter()
+        .enumerate()
+        .filter(|(_, &rel)| rel)
+        .map(|(i, _)| 1.0 / ((i + 2) as f64).log2())
+        .sum();
+    let ideal_hits = num_relevant.min(k);
+    let idcg: f64 = (0..ideal_hits)
+        .map(|i| 1.0 / ((i + 2) as f64).log2())
+        .sum();
+    (dcg / idcg).min(1.0)
+}
+
+/// Recall@k: fraction of relevant items retrieved in the top-k.
+pub fn recall_at_k(ranked: &[bool], num_relevant: usize, k: usize) -> f64 {
+    assert!(k > 0, "k must be positive");
+    if num_relevant == 0 {
+        return 1.0;
+    }
+    let cutoff = k.min(ranked.len());
+    let hits = ranked[..cutoff].iter().filter(|&&r| r).count();
+    hits as f64 / num_relevant as f64
+}
+
+/// Table-level full accuracy: the fraction of cases where the prediction is
+/// completely correct (`cases` holds one bool per test case).
+pub fn full_accuracy(cases: &[bool]) -> f64 {
+    if cases.is_empty() {
+        return 0.0;
+    }
+    cases.iter().filter(|&&c| c).count() as f64 / cases.len() as f64
+}
+
+/// Precision / recall / F1 over predicted vs. ground-truth sets.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Prf {
+    pub precision: f64,
+    pub recall: f64,
+    pub f1: f64,
+}
+
+/// Set precision/recall/F1 between a predicted item set and the ground
+/// truth (Table 9 scores Unpivot column selections this way).
+pub fn set_prf<T: PartialEq>(predicted: &[T], truth: &[T]) -> Prf {
+    let tp = predicted.iter().filter(|p| truth.contains(p)).count() as f64;
+    let precision = if predicted.is_empty() { 0.0 } else { tp / predicted.len() as f64 };
+    let recall = if truth.is_empty() { 0.0 } else { tp / truth.len() as f64 };
+    let f1 = if precision + recall == 0.0 {
+        0.0
+    } else {
+        2.0 * precision * recall / (precision + recall)
+    };
+    Prf { precision, recall, f1 }
+}
+
+/// Arithmetic mean; 0 for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn precision_basic() {
+        // One relevant item, ranked first.
+        assert_eq!(precision_at_k(&[true, false], 1, 1), 1.0);
+        // One relevant item, ranked second: prec@1 = 0, prec@2 = 1 (the
+        // relevant item is fully retrieved, tail not penalised... but it was
+        // retrieved at position 2 of 2, hits=1 = num_relevant → denom 1).
+        assert_eq!(precision_at_k(&[false, true], 1, 1), 0.0);
+        assert_eq!(precision_at_k(&[false, true], 1, 2), 1.0);
+    }
+
+    #[test]
+    fn precision_no_tail_penalty() {
+        // 2 relevant items both in top-2; prec@3 should not decay.
+        assert_eq!(precision_at_k(&[true, true, false], 2, 3), 1.0);
+        // But with only 1 of 2 found in top-2, normal division applies.
+        assert_eq!(precision_at_k(&[true, false], 2, 2), 0.5);
+    }
+
+    #[test]
+    fn precision_vacuous_when_nothing_relevant() {
+        assert_eq!(precision_at_k(&[false, false], 0, 1), 1.0);
+    }
+
+    #[test]
+    fn ndcg_perfect_ranking_is_one() {
+        assert_eq!(ndcg_at_k(&[true, true, false], 2, 2), 1.0);
+        assert_eq!(ndcg_at_k(&[true], 1, 1), 1.0);
+    }
+
+    #[test]
+    fn ndcg_discounts_late_hits() {
+        // Relevant item at rank 2 instead of rank 1.
+        let got = ndcg_at_k(&[false, true], 1, 2);
+        let want = (1.0 / 3f64.log2()) / 1.0;
+        assert!((got - want).abs() < 1e-12);
+        assert!(got < 1.0);
+    }
+
+    #[test]
+    fn ndcg_at_one_equals_precision_at_one_for_binary() {
+        for ranked in [[true, false], [false, true]] {
+            assert_eq!(
+                ndcg_at_k(&ranked, 1, 1),
+                precision_at_k(&ranked, 1, 1)
+            );
+        }
+    }
+
+    #[test]
+    fn recall_counts_found_fraction() {
+        assert_eq!(recall_at_k(&[true, false, true], 2, 1), 0.5);
+        assert_eq!(recall_at_k(&[true, false, true], 2, 3), 1.0);
+        assert_eq!(recall_at_k(&[false], 0, 1), 1.0);
+    }
+
+    #[test]
+    fn full_accuracy_fraction() {
+        assert_eq!(full_accuracy(&[true, true, false, false]), 0.5);
+        assert_eq!(full_accuracy(&[]), 0.0);
+    }
+
+    #[test]
+    fn set_prf_partial_overlap() {
+        let prf = set_prf(&["a", "b", "c"], &["b", "c", "d", "e"]);
+        assert!((prf.precision - 2.0 / 3.0).abs() < 1e-12);
+        assert!((prf.recall - 0.5).abs() < 1e-12);
+        let expect_f1 = 2.0 * (2.0 / 3.0) * 0.5 / (2.0 / 3.0 + 0.5);
+        assert!((prf.f1 - expect_f1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn set_prf_edge_cases() {
+        let empty: [&str; 0] = [];
+        let prf = set_prf(&empty, &["a"]);
+        assert_eq!(prf.precision, 0.0);
+        assert_eq!(prf.f1, 0.0);
+        let prf = set_prf(&["a"], &["a"]);
+        assert_eq!(prf.f1, 1.0);
+    }
+
+    #[test]
+    fn mean_of_values() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+        assert_eq!(mean(&[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn zero_k_panics() {
+        precision_at_k(&[true], 1, 0);
+    }
+}

@@ -1,0 +1,69 @@
+//! A "predictive transformation" assistant (§5): watch a pipeline evolve
+//! and suggest the next operator at every step, like Trifacta's predictive
+//! interaction or Salesforce's smart suggestions.
+//!
+//! ```text
+//! cargo run --release --example next_op_assistant
+//! ```
+
+use auto_suggest::core::nextop::single_op_scores;
+use auto_suggest::core::{AutoSuggest, AutoSuggestConfig};
+use auto_suggest::corpus::OpKind;
+
+fn main() {
+    println!("Training Auto-Suggest...");
+    let system = AutoSuggest::train(AutoSuggestConfig::fast(31));
+    let groupby = system.models.groupby.as_ref().expect("groupby model");
+    let compat = system
+        .models
+        .pivot
+        .as_ref()
+        .expect("pivot model")
+        .compatibility();
+
+    // Re-drive one held-out pipeline step by step.
+    let example = system
+        .test
+        .nextop
+        .iter()
+        .max_by_key(|e| e.prefix.len())
+        .expect("test pipelines exist");
+    println!(
+        "\nA held-out pipeline with {} prior steps:",
+        example.prefix.len()
+    );
+    for (i, &op) in example.prefix.iter().enumerate() {
+        println!("  step {}: {}", i + 1, OpKind::SEQUENCE_OPS[op]);
+    }
+
+    println!("\nSingle-operator scores for the current table:");
+    for (op, score) in OpKind::SEQUENCE_OPS.iter().zip(&example.table_scores) {
+        println!("  {op:<10} {score:.3}");
+    }
+
+    let ranked = system
+        .models
+        .nextop_full
+        .predict_ranked(&example.prefix, &example.table_scores);
+    println!("\nPredicted next operators (most likely first):");
+    for (rank, &op) in ranked.iter().take(3).enumerate() {
+        let marker = if op == example.label { "  <- what the author actually did" } else { "" };
+        println!("  {}. {}{}", rank + 1, OpKind::SEQUENCE_OPS[op], marker);
+    }
+
+    // The table-shape signal in isolation: a pivot-shaped table begs to be
+    // unpivoted even with no history at all.
+    let wide_case = &system.test.melt[0];
+    let scores = single_op_scores(&wide_case.inputs[0], groupby, compat);
+    let top = OpKind::SEQUENCE_OPS
+        [scores
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(i, _)| i)
+            .expect("seven scores")];
+    println!(
+        "\nFor a fresh {}-column pivot-shaped table, the table-only signal suggests: {top}",
+        wide_case.inputs[0].num_columns()
+    );
+}

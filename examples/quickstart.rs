@@ -1,0 +1,53 @@
+//! Quickstart: train the full Auto-Suggest system on a (small) synthetic
+//! notebook corpus and ask it for recommendations.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use auto_suggest::core::{AutoSuggest, AutoSuggestConfig};
+
+fn main() {
+    println!("Training Auto-Suggest on a small synthetic corpus...");
+    let system = AutoSuggest::train(AutoSuggestConfig::fast(7));
+    println!(
+        "  replayed {} notebooks, kept {} invocations after filtering\n",
+        system.reports.len(),
+        system.filter_stats.kept
+    );
+
+    // 1. Join recommendation (the Fig. 1 experience).
+    let join = system.models.join.as_ref().expect("join model");
+    let case = &system.test.join[0];
+    println!("Input tables:\n{}\n{}", case.inputs[0].head(4), case.inputs[1].head(4));
+    println!("Top join suggestions:");
+    for s in join.suggest(&case.inputs[0], &case.inputs[1], 3) {
+        println!("  {:?} = {:?}  (score {:.3})", s.left_cols, s.right_cols, s.score);
+    }
+
+    // 2. GroupBy recommendation.
+    let groupby = system.models.groupby.as_ref().expect("groupby model");
+    let gcase = &system.test.groupby[0];
+    println!("\nGroupBy ranking for a {}-column table:", gcase.inputs[0].num_columns());
+    for s in groupby.suggest(&gcase.inputs[0]).into_iter().take(4) {
+        println!("  {:<14} dimension-ness {:.3}", s.column, s.score);
+    }
+
+    // 3. Unpivot recommendation.
+    let unpivot = system.models.unpivot.as_ref().expect("unpivot model");
+    let mcase = &system.test.melt[0];
+    if let Some(s) = unpivot.suggest(&mcase.inputs[0]) {
+        println!(
+            "\nUnpivot: collapse {} of {} columns (objective {:.2}): {:?}",
+            s.collapse.len(),
+            mcase.inputs[0].num_columns(),
+            s.objective,
+            &s.collapse[..s.collapse.len().min(6)]
+        );
+    }
+
+    // 4. Next-operator prediction.
+    let ex = &system.test.nextop[0];
+    let next = system.models.nextop_full.predict(&ex.prefix, &ex.table_scores);
+    println!("\nAfter {} pipeline steps, predicted next operator: {next}", ex.prefix.len());
+}

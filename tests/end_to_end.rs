@@ -1,0 +1,148 @@
+//! End-to-end integration: the trained system must beat simple baselines
+//! on held-out data, with all the paper's qualitative orderings intact.
+
+use auto_suggest::baselines::join::{JoinBaseline, MaxOverlap};
+use auto_suggest::baselines::unpivot::data_type_select;
+use auto_suggest::core::join::{candidates_with_truth, ground_truth_candidate};
+use auto_suggest::core::pivot::melt_ground_truth;
+use auto_suggest::core::{AutoSuggest, AutoSuggestConfig};
+use auto_suggest::ranking::{mean, set_prf};
+
+fn system() -> &'static AutoSuggest {
+    use std::sync::OnceLock;
+    static SYSTEM: OnceLock<AutoSuggest> = OnceLock::new();
+    SYSTEM.get_or_init(|| {
+        // Medium scale: large enough that held-out metrics are stable, small
+        // enough for CI.
+        let mut cfg = AutoSuggestConfig::fast(77);
+        cfg.corpus.join_notebooks = 140;
+        cfg.corpus.groupby_notebooks = 100;
+        cfg.corpus.pivot_notebooks = 80;
+        cfg.corpus.unpivot_notebooks = 40;
+        cfg.corpus.json_notebooks = 10;
+        cfg.corpus.flow_notebooks = 140;
+        cfg.nextop.epochs = 50;
+        AutoSuggest::train(cfg)
+    })
+}
+
+#[test]
+fn join_model_beats_max_overlap_on_held_out_cases() {
+    let sys = system();
+    let model = sys.models.join.as_ref().expect("join model");
+    let mut ours = Vec::new();
+    let mut overlap = Vec::new();
+    for inv in &sys.test.join {
+        let Some(truth) = ground_truth_candidate(inv) else { continue };
+        let cands = candidates_with_truth(
+            &inv.inputs[0],
+            &inv.inputs[1],
+            &truth,
+            model.candidate_params(),
+        );
+        let best = model.rank_candidates(&inv.inputs[0], &inv.inputs[1], &cands)[0];
+        ours.push(if cands[best] == truth { 1.0 } else { 0.0 });
+        let ob = MaxOverlap.rank(&inv.inputs[0], &inv.inputs[1], &cands)[0];
+        overlap.push(if cands[ob] == truth { 1.0 } else { 0.0 });
+    }
+    assert!(ours.len() >= 5, "need held-out join cases");
+    assert!(
+        mean(&ours) > mean(&overlap),
+        "learned {} <= max-overlap {}",
+        mean(&ours),
+        mean(&overlap)
+    );
+    assert!(mean(&ours) > 0.65, "held-out join prec@1 {}", mean(&ours));
+}
+
+#[test]
+fn unpivot_model_high_f1_and_beats_data_type_on_traps() {
+    let sys = system();
+    let model = sys.models.unpivot.as_ref().expect("unpivot model");
+    let mut ours = Vec::new();
+    let mut dtype = Vec::new();
+    for inv in &sys.test.melt {
+        let Some((_, truth)) = melt_ground_truth(inv) else { continue };
+        let sel = model.select(&inv.inputs[0]).map(|s| s.selected).unwrap_or_default();
+        ours.push(set_prf(&sel, &truth).f1);
+        dtype.push(set_prf(&data_type_select(&inv.inputs[0]), &truth).f1);
+    }
+    assert!(ours.len() >= 3);
+    assert!(mean(&ours) > 0.8, "unpivot F1 {}", mean(&ours));
+    assert!(mean(&ours) >= mean(&dtype), "must not lose to the dtype heuristic");
+}
+
+#[test]
+fn next_op_full_model_beats_sequence_only_and_random() {
+    let sys = system();
+    let mut full = Vec::new();
+    let mut rnn = Vec::new();
+    let mut random_hits = Vec::new();
+    for (i, ex) in sys.test.nextop.iter().enumerate() {
+        let f = sys.models.nextop_full.predict_ranked(&ex.prefix, &ex.table_scores)[0];
+        full.push(if f == ex.label { 1.0 } else { 0.0 });
+        let r = sys.models.nextop_rnn_only.predict_ranked(&ex.prefix, &[])[0];
+        rnn.push(if r == ex.label { 1.0 } else { 0.0 });
+        // A fixed pseudo-random guess.
+        random_hits.push(if i % 7 == ex.label { 1.0 } else { 0.0 });
+    }
+    assert!(full.len() >= 20, "need held-out next-op queries");
+    // At full corpus scale the combined model beats the sequence-only RNN
+    // by a wide margin (Table 11 / EXPERIMENTS.md); at this CI scale the
+    // table-score features are noisy, so we only require parity within a
+    // small tolerance.
+    assert!(
+        mean(&full) + 0.08 >= mean(&rnn),
+        "full {} far below rnn {}",
+        mean(&full),
+        mean(&rnn)
+    );
+    assert!(mean(&full) > mean(&random_hits) + 0.15);
+    assert!(mean(&full) > 0.4, "next-op accuracy {}", mean(&full));
+}
+
+#[test]
+fn groupby_model_accurate_on_held_out_tables() {
+    let sys = system();
+    let model = sys.models.groupby.as_ref().expect("groupby model");
+    let mut hits = Vec::new();
+    for inv in &sys.test.groupby {
+        let labels = auto_suggest::core::groupby::labelled_columns(inv);
+        if labels.is_empty() {
+            continue;
+        }
+        let scores = model.scores(&inv.inputs[0]);
+        let top = labels
+            .iter()
+            .max_by(|a, b| scores[a.0].total_cmp(&scores[b.0]))
+            .expect("non-empty");
+        hits.push(if top.1 { 1.0 } else { 0.0 });
+    }
+    assert!(hits.len() >= 10);
+    assert!(mean(&hits) > 0.85, "groupby prec@1 {}", mean(&hits));
+}
+
+#[test]
+fn join_type_prediction_at_least_matches_the_inner_default() {
+    use auto_suggest::corpus::replay::OpParams;
+    use auto_suggest::dataframe::ops::JoinType;
+    let sys = system();
+    let model = sys.models.join_type.as_ref().expect("join type model");
+    let mut ours = 0usize;
+    let mut inner = 0usize;
+    let mut total = 0usize;
+    for inv in &sys.test.join {
+        let OpParams::Merge { how, .. } = &inv.params else { continue };
+        let Some(truth) = ground_truth_candidate(inv) else { continue };
+        total += 1;
+        if model.predict(&inv.inputs[0], &inv.inputs[1], &truth) == *how {
+            ours += 1;
+        }
+        if *how == JoinType::Inner {
+            inner += 1;
+        }
+    }
+    assert!(total >= 5);
+    // Sample noise allowance: one miss on a small held-out set.
+    assert!(ours + 1 >= inner, "learned {ours}/{total} vs default {inner}/{total}");
+}

@@ -1,0 +1,145 @@
+//! Property-based tests over the DataFrame substrate and solvers —
+//! invariants every replayed notebook implicitly relies on.
+
+use auto_suggest::dataframe::ops::{self, Agg, DropHow, JoinType};
+use auto_suggest::dataframe::{DataFrame, Value};
+use auto_suggest::graph::{ampt_exact, ampt_objective, cmut_greedy, AffinityGraph};
+use auto_suggest::ranking::{ndcg_at_k, precision_at_k};
+use proptest::prelude::*;
+
+/// A small table: one string dim (bounded domain), one int dim, one float
+/// measure.
+fn table_strategy() -> impl Strategy<Value = DataFrame> {
+    let row = (0u8..5, 2000i64..2004, -1000i64..1000);
+    proptest::collection::vec(row, 1..40).prop_map(|rows| {
+        DataFrame::from_rows(
+            &["dim", "year", "value"],
+            rows.into_iter()
+                .map(|(d, y, v)| {
+                    vec![
+                        Value::Str(format!("d{d}")),
+                        Value::Int(y),
+                        Value::Float(v as f64 / 10.0),
+                    ]
+                })
+                .collect(),
+        )
+        .expect("valid frame")
+    })
+}
+
+proptest! {
+    #[test]
+    fn groupby_partitions_rows(df in table_strategy()) {
+        let out = ops::groupby(&df, &["dim"], &[("value", Agg::Count)]).unwrap();
+        // Group count totals must equal the row count.
+        let total: i64 = out
+            .column("value")
+            .unwrap()
+            .values()
+            .iter()
+            .filter_map(Value::as_f64)
+            .map(|f| f as i64)
+            .sum();
+        prop_assert_eq!(total as usize, df.num_rows());
+        // Group keys are distinct.
+        let keys = out.column("dim").unwrap();
+        prop_assert_eq!(keys.distinct_count(), out.num_rows());
+    }
+
+    #[test]
+    fn melt_then_pivot_roundtrips_cell_sums(df in table_strategy()) {
+        // pivot → melt preserves the total of the measure (sum-aggregated,
+        // ignoring NULL padding).
+        let pivoted = ops::pivot_table(&df, &["dim"], &["year"], "value", Agg::Sum).unwrap();
+        let value_vars: Vec<String> = pivoted
+            .column_names()
+            .into_iter()
+            .filter(|n| *n != "dim")
+            .map(String::from)
+            .collect();
+        let vv: Vec<&str> = value_vars.iter().map(String::as_str).collect();
+        let long = ops::melt(&pivoted, &["dim"], &vv, "year", "value").unwrap();
+        let sum = |frame: &DataFrame| -> f64 {
+            frame
+                .column("value")
+                .unwrap()
+                .values()
+                .iter()
+                .filter_map(Value::as_f64)
+                .sum()
+        };
+        prop_assert!((sum(&df) - sum(&long)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn join_row_count_bounds(a in table_strategy(), b in table_strategy()) {
+        let inner = ops::merge(&a, &b, &["dim"], &["dim"], JoinType::Inner).unwrap();
+        let left = ops::merge(&a, &b, &["dim"], &["dim"], JoinType::Left).unwrap();
+        let outer = ops::merge(&a, &b, &["dim"], &["dim"], JoinType::Outer).unwrap();
+        prop_assert!(inner.num_rows() <= left.num_rows());
+        prop_assert!(left.num_rows() <= outer.num_rows());
+        prop_assert!(left.num_rows() >= a.num_rows());
+        prop_assert!(inner.num_rows() <= a.num_rows() * b.num_rows());
+    }
+
+    #[test]
+    fn dropna_then_fillna_idempotent(df in table_strategy()) {
+        // A clean frame is a fixed point of both operators.
+        let clean = ops::dropna(&df, DropHow::Any, None).unwrap();
+        let filled = ops::fillna_all(&clean, &Value::Int(0)).unwrap();
+        prop_assert_eq!(clean.content_hash(), filled.content_hash());
+    }
+
+    #[test]
+    fn csv_roundtrip_preserves_content(df in table_strategy()) {
+        let text = auto_suggest::dataframe::io::write_csv_string(&df);
+        let back = auto_suggest::dataframe::io::read_csv_str(&text).unwrap();
+        prop_assert_eq!(df.content_hash(), back.content_hash());
+    }
+}
+
+/// Random affinity graphs for solver properties.
+fn graph_strategy(n: usize) -> impl Strategy<Value = AffinityGraph> {
+    proptest::collection::vec(-100i32..100, n * (n - 1) / 2).prop_map(move |ws| {
+        let mut g = AffinityGraph::new(n);
+        let mut k = 0;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                g.set(i, j, ws[k] as f64 / 100.0);
+                k += 1;
+            }
+        }
+        g
+    })
+}
+
+proptest! {
+    #[test]
+    fn ampt_exact_is_optimal_over_all_bisections(g in graph_strategy(6)) {
+        let best = ampt_exact(&g).unwrap();
+        for mask in 1u32..(1 << 6) - 1 {
+            let in_first: Vec<bool> = (0..6).map(|v| mask >> v & 1 == 1).collect();
+            prop_assert!(ampt_objective(&g, &in_first) <= best.objective + 1e-9);
+        }
+    }
+
+    #[test]
+    fn cmut_greedy_solution_is_valid(g in graph_strategy(8)) {
+        let sol = cmut_greedy(&g).unwrap();
+        prop_assert!(sol.selected.len() >= 2);
+        prop_assert!(sol.selected.len() < 8);
+        let mut sorted = sol.selected.clone();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), sol.selected.len());
+    }
+
+    #[test]
+    fn metrics_are_bounded(rels in proptest::collection::vec(any::<bool>(), 1..10), k in 1usize..5) {
+        let num_relevant = rels.iter().filter(|&&r| r).count();
+        let p = precision_at_k(&rels, num_relevant, k);
+        let n = ndcg_at_k(&rels, num_relevant, k);
+        prop_assert!((0.0..=1.0).contains(&p));
+        prop_assert!((0.0..=1.0).contains(&n));
+    }
+}
