@@ -1,0 +1,78 @@
+//! Scaling curves for the deterministic pool itself: the same workload at
+//! 1/2/4/8 threads. Two shapes — a coarse CPU-bound map (best case for
+//! stealing) and GBDT training, whose per-round split scan is the finest
+//! parallel grain in the system.
+
+use autosuggest_gbdt::{Dataset, Gbdt, GbdtParams};
+use autosuggest_parallel::set_thread_override;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+/// A deliberately skewed workload: item cost grows with index, so static
+/// chunking alone would leave the early workers idle — stealing has to
+/// rebalance.
+fn busy(seed: u64, rounds: usize) -> u64 {
+    let mut x = seed | 1;
+    for _ in 0..rounds {
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+    }
+    x
+}
+
+fn bench_par_map(c: &mut Criterion) {
+    let items: Vec<u64> = (0..512).collect();
+    let mut group = c.benchmark_group("parallel_scaling/par_map");
+    group.sample_size(10);
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &threads,
+            |b, &threads| {
+                set_thread_override(Some(threads));
+                b.iter(|| {
+                    black_box(autosuggest_parallel::par_map(&items, |&i| {
+                        busy(i, 2_000 + 40 * i as usize)
+                    }))
+                });
+                set_thread_override(None);
+            },
+        );
+    }
+    group.finish();
+}
+
+fn synthetic(n: usize, features: usize, seed: u64) -> Dataset {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let rows: Vec<Vec<f64>> = (0..n)
+        .map(|_| (0..features).map(|_| rng.random_range(-1.0..1.0)).collect())
+        .collect();
+    let labels: Vec<f64> = rows
+        .iter()
+        .map(|r| if r[0] + 0.5 * r[1] > 0.0 { 1.0 } else { 0.0 })
+        .collect();
+    let names = (0..features).map(|i| format!("f{i}")).collect();
+    Dataset::new(names, rows, labels).expect("rectangular")
+}
+
+fn bench_gbdt_fit(c: &mut Criterion) {
+    let data = synthetic(4_000, 18, 5);
+    let params = GbdtParams { n_trees: 20, ..Default::default() };
+    let mut group = c.benchmark_group("parallel_scaling/gbdt_fit");
+    group.sample_size(10);
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &threads,
+            |b, &threads| {
+                set_thread_override(Some(threads));
+                b.iter(|| black_box(Gbdt::fit(&data, &params)));
+                set_thread_override(None);
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_par_map, bench_gbdt_fit);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Replay throughput: notebooks replayed per sweep, sequential vs the
+//! work-stealing pool. The corpus is generated once; each iteration
+//! replays every notebook (the dominant cost of pipeline training).
+
+use autosuggest_corpus::{CorpusConfig, CorpusGenerator, ReplayEngine};
+use autosuggest_parallel::set_thread_override;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_replay(c: &mut Criterion) {
+    let corpus = CorpusGenerator::new(CorpusConfig::small(11)).generate();
+    let engine = ReplayEngine::new(corpus.repository.clone());
+    let mut group = c.benchmark_group("replay_throughput");
+    group.sample_size(10);
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &threads,
+            |b, &threads| {
+                set_thread_override(Some(threads));
+                b.iter(|| {
+                    black_box(autosuggest_parallel::par_map(&corpus.notebooks, |nb| {
+                        engine.replay(nb).invocations.len()
+                    }))
+                });
+                set_thread_override(None);
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_replay);
+criterion_main!(benches);

@@ -1,8 +1,8 @@
 //! `repro` — regenerate every table of the Auto-Suggest evaluation.
 //!
 //! ```text
-//! repro [--fast] [--seed N] all | table2 | table3 | table4 | table5 |
-//!       table6 | table7 | table8 | table9 | table10 | table11 |
+//! repro [--fast] [--seed N] [--timing] all | table2 | table3 | table4 |
+//!       table5 | table6 | table7 | table8 | table9 | table10 | table11 |
 //!       ablation-ampt | ablation-cmut | ablation-join
 //! ```
 //!
@@ -10,20 +10,51 @@
 //! the default corpus is the full ~1:40-scale generation DESIGN.md
 //! describes. Output prints each reproduced table next to the paper's
 //! reported numbers.
+//!
+//! `--timing` additionally writes `BENCH_repro.json` to the current
+//! directory with per-stage pipeline timings, per-table wall-clock, and
+//! the thread count used (see `AUTOSUGGEST_THREADS`).
+//!
+//! Tables are evaluated concurrently on the shared work-stealing pool —
+//! each evaluator is a pure function of the trained context, so results
+//! are printed in canonical table order regardless of completion order.
 
 use autosuggest_bench::tables::{self, ReproContext};
 use autosuggest_core::AutoSuggestConfig;
 use autosuggest_corpus::CorpusConfig;
+use serde_json::{json, Value};
+use std::time::Instant;
+
+type TableFn = fn(&ReproContext) -> String;
+
+/// Canonical (name, evaluator) registry, in print order.
+const TABLES: &[(&str, TableFn)] = &[
+    ("table2", tables::table2::run),
+    ("table3", tables::table3::run),
+    ("table4", tables::table4::run),
+    ("table5", tables::table5::run),
+    ("table6", tables::table6::run),
+    ("table7", tables::table6::run_importance),
+    ("table8", tables::table8::run),
+    ("table9", tables::table9::run),
+    ("table10", tables::table10::run),
+    ("table11", tables::table11::run),
+    ("ablation-ampt", tables::ablations::ampt),
+    ("ablation-cmut", tables::ablations::cmut),
+    ("ablation-join", tables::ablations::join_knockout),
+];
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut fast = false;
+    let mut timing = false;
     let mut seed = 42u64;
     let mut targets: Vec<String> = Vec::new();
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--fast" => fast = true,
+            "--timing" => timing = true,
             "--seed" => {
                 seed = it
                     .next()
@@ -36,6 +67,13 @@ fn main() {
     if targets.is_empty() {
         targets.push("all".to_string());
     }
+    let all = targets.iter().any(|t| t == "all");
+    for t in &targets {
+        if t != "all" && !TABLES.iter().any(|(name, _)| name == t) {
+            eprintln!("[repro] unknown target {t:?}");
+            std::process::exit(2);
+        }
+    }
 
     let mut config = if fast {
         AutoSuggestConfig::fast(seed)
@@ -44,14 +82,15 @@ fn main() {
     };
     config.corpus = if fast { CorpusConfig::small(seed) } else { CorpusConfig { seed, ..CorpusConfig::default() } };
 
+    let threads = autosuggest_parallel::current_threads();
     eprintln!(
-        "[repro] generating corpus, replaying notebooks, training models (fast={fast}, seed={seed})..."
+        "[repro] generating corpus, replaying notebooks, training models (fast={fast}, seed={seed}, threads={threads})..."
     );
-    let t0 = std::time::Instant::now();
-    let ctx = ReproContext::build(config);
+    let t0 = Instant::now();
+    let (ctx, stage_timings) = ReproContext::build_timed(config);
+    let train_seconds = t0.elapsed().as_secs_f64();
     eprintln!(
-        "[repro] pipeline trained in {:.1}s: {} join / {} groupby / {} pivot / {} melt test cases, {} next-op queries",
-        t0.elapsed().as_secs_f64(),
+        "[repro] pipeline trained in {train_seconds:.1}s: {} join / {} groupby / {} pivot / {} melt test cases, {} next-op queries",
         ctx.system.test.join.len(),
         ctx.system.test.groupby.len(),
         ctx.system.test.pivot.len(),
@@ -59,25 +98,46 @@ fn main() {
         ctx.system.test.nextop.len(),
     );
 
-    for target in &targets {
-        let all = target == "all";
-        let run = |name: &str, f: &dyn Fn(&ReproContext) -> String| {
-            if all || target == name {
-                println!("{}", f(&ctx));
-            }
-        };
-        run("table2", &tables::table2::run);
-        run("table3", &tables::table3::run);
-        run("table4", &tables::table4::run);
-        run("table5", &tables::table5::run);
-        run("table6", &tables::table6::run);
-        run("table7", &tables::table6::run_importance);
-        run("table8", &tables::table8::run);
-        run("table9", &tables::table9::run);
-        run("table10", &tables::table10::run);
-        run("table11", &tables::table11::run);
-        run("ablation-ampt", &tables::ablations::ampt);
-        run("ablation-cmut", &tables::ablations::cmut);
-        run("ablation-join", &tables::ablations::join_knockout);
+    // Evaluate the selected tables across the pool; each task returns its
+    // rendered output plus its own wall-clock so concurrency doesn't blur
+    // per-table attribution.
+    let selected: Vec<&(&str, TableFn)> = TABLES
+        .iter()
+        .filter(|(name, _)| all || targets.iter().any(|t| t == name))
+        .collect();
+    let results: Vec<(String, f64)> = autosuggest_parallel::par_map(&selected, |(_, f)| {
+        let start = Instant::now();
+        let out = f(&ctx);
+        (out, start.elapsed().as_secs_f64())
+    });
+    for (out, _) in &results {
+        println!("{out}");
+    }
+    let total_seconds = t0.elapsed().as_secs_f64();
+
+    if timing {
+        let stages: Vec<Value> = stage_timings
+            .iter()
+            .map(|t| json!({"stage": t.stage, "seconds": t.seconds}))
+            .collect();
+        let table_times: Vec<Value> = selected
+            .iter()
+            .zip(&results)
+            .map(|((name, _), (_, secs))| json!({"name": *name, "seconds": *secs}))
+            .collect();
+        let report = json!({
+            "threads": threads,
+            "fast": fast,
+            "seed": seed,
+            "train_seconds": train_seconds,
+            "total_seconds": total_seconds,
+            "stages": Value::Array(stages),
+            "tables": Value::Array(table_times),
+        });
+        let path = "BENCH_repro.json";
+        match std::fs::write(path, report.to_string()) {
+            Ok(()) => eprintln!("[repro] wrote {path} ({total_seconds:.1}s total, {threads} threads)"),
+            Err(e) => eprintln!("[repro] failed to write {path}: {e}"),
+        }
     }
 }

@@ -13,6 +13,7 @@ pub mod table9;
 
 use autosuggest_baselines::groupby::SqlHistory;
 use autosuggest_core::groupby::labelled_columns;
+use autosuggest_core::pipeline::StageTiming;
 use autosuggest_core::{AutoSuggest, AutoSuggestConfig};
 
 /// One row of a rendered table: a method name and its metric values.
@@ -38,7 +39,13 @@ pub struct ReproContext {
 impl ReproContext {
     /// Train the full system and the training-data-dependent baselines.
     pub fn build(config: AutoSuggestConfig) -> ReproContext {
-        let system = AutoSuggest::train(config);
+        Self::build_timed(config).0
+    }
+
+    /// [`ReproContext::build`], also returning the pipeline's per-stage
+    /// wall-clock timings (for `repro --timing`).
+    pub fn build_timed(config: AutoSuggestConfig) -> (ReproContext, Vec<StageTiming>) {
+        let (system, timings) = AutoSuggest::train_timed(config);
         let mut sql_history = SqlHistory::new();
         for inv in &system.train.groupby {
             if let Some(df) = inv.inputs.first() {
@@ -47,7 +54,7 @@ impl ReproContext {
                 }
             }
         }
-        ReproContext { system, sql_history }
+        (ReproContext { system, sql_history }, timings)
     }
 }
 

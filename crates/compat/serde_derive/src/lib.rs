@@ -1,0 +1,312 @@
+//! `#[derive(Serialize, Deserialize)]` for the offline serde shim.
+//!
+//! No `syn`/`quote` (the registry is unreachable), so the item is parsed
+//! directly from the `proc_macro::TokenStream`. Supported shapes — exactly
+//! what this workspace derives on:
+//!
+//! * structs with named fields → JSON objects
+//! * tuple structs → newtype transparency (arity 1) or JSON arrays
+//! * unit structs → `null`
+//! * enums with unit / tuple / struct variants → serde's externally-tagged
+//!   JSON form (`"Variant"`, `{"Variant": [..]}`, `{"Variant": {..}}`)
+//!
+//! Generic items are intentionally unsupported (none exist in the
+//! workspace) and produce a compile error rather than wrong code.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum ItemShape {
+    NamedStruct { fields: Vec<String> },
+    TupleStruct { arity: usize },
+    UnitStruct,
+    Enum { variants: Vec<Variant> },
+}
+
+#[derive(Debug)]
+enum VariantShape {
+    Unit,
+    Tuple { arity: usize },
+    Named { fields: Vec<String> },
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+struct Item {
+    name: String,
+    shape: ItemShape,
+}
+
+/// Skip attributes (`#[...]`, including doc comments) and visibility
+/// (`pub`, `pub(crate)`, ...) at the current position.
+fn skip_attrs_and_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // '#' followed by a bracket group.
+                i += 2;
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => return i,
+        }
+    }
+}
+
+/// Count top-level comma-separated items in a type/field list, tracking
+/// angle-bracket depth so `HashMap<String, String>` counts as one.
+fn count_top_level_items(tokens: &[TokenTree]) -> usize {
+    let mut depth = 0i32;
+    let mut items = 0usize;
+    let mut saw_any = false;
+    for t in tokens {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => {
+                    items += 1;
+                    saw_any = false;
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        saw_any = true;
+    }
+    if saw_any {
+        items += 1;
+    }
+    items
+}
+
+/// Parse `name: Type, ...` named-field lists, returning field names.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        i = skip_attrs_and_vis(&tokens, i);
+        let Some(TokenTree::Ident(name)) = tokens.get(i) else { break };
+        fields.push(name.to_string());
+        i += 1;
+        // Expect ':' then the type; skip to the next top-level comma.
+        let mut depth = 0i32;
+        while i < tokens.len() {
+            if let TokenTree::Punct(p) = &tokens[i] {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    ',' if depth == 0 => {
+                        i += 1;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+    }
+    fields
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs_and_vis(&tokens, 0);
+
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected struct/enum, found {other:?}")),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected item name, found {other:?}")),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "serde shim derive does not support generic item `{name}`"
+            ));
+        }
+    }
+
+    match kind.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok(Item {
+                name,
+                shape: ItemShape::NamedStruct { fields: parse_named_fields(g.stream()) },
+            }),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                Ok(Item { name, shape: ItemShape::TupleStruct { arity: count_top_level_items(&inner) } })
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => {
+                Ok(Item { name, shape: ItemShape::UnitStruct })
+            }
+            other => Err(format!("unsupported struct body: {other:?}")),
+        },
+        "enum" => {
+            let Some(TokenTree::Group(body)) = tokens.get(i) else {
+                return Err("expected enum body".into());
+            };
+            let body_tokens: Vec<TokenTree> = body.stream().into_iter().collect();
+            let mut variants = Vec::new();
+            let mut j = 0usize;
+            while j < body_tokens.len() {
+                j = skip_attrs_and_vis(&body_tokens, j);
+                let Some(TokenTree::Ident(vname)) = body_tokens.get(j) else { break };
+                let vname = vname.to_string();
+                j += 1;
+                let shape = match body_tokens.get(j) {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        j += 1;
+                        VariantShape::Named { fields: parse_named_fields(g.stream()) }
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                        j += 1;
+                        VariantShape::Tuple { arity: count_top_level_items(&inner) }
+                    }
+                    _ => VariantShape::Unit,
+                };
+                // Skip a possible discriminant (`= expr`) and the comma.
+                while j < body_tokens.len() {
+                    if let TokenTree::Punct(p) = &body_tokens[j] {
+                        if p.as_char() == ',' {
+                            j += 1;
+                            break;
+                        }
+                    }
+                    j += 1;
+                }
+                variants.push(Variant { name: vname, shape });
+            }
+            Ok(Item { name, shape: ItemShape::Enum { variants } })
+        }
+        other => Err(format!("cannot derive for `{other}` items")),
+    }
+}
+
+fn push_literal(code: &mut String, text: &str) {
+    code.push_str("out.push_str(");
+    code.push_str(&format!("{text:?}"));
+    code.push_str(");");
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let mut body = String::new();
+    match &item.shape {
+        ItemShape::NamedStruct { fields } => {
+            if fields.is_empty() {
+                push_literal(&mut body, "{}");
+            } else {
+                for (i, f) in fields.iter().enumerate() {
+                    let prefix = if i == 0 { format!("{{\"{f}\":") } else { format!(",\"{f}\":") };
+                    push_literal(&mut body, &prefix);
+                    body.push_str(&format!("::serde::Serialize::serialize_json(&self.{f}, out);"));
+                }
+                push_literal(&mut body, "}");
+            }
+        }
+        ItemShape::TupleStruct { arity } => {
+            if *arity == 1 {
+                body.push_str("::serde::Serialize::serialize_json(&self.0, out);");
+            } else {
+                push_literal(&mut body, "[");
+                for i in 0..*arity {
+                    if i > 0 {
+                        push_literal(&mut body, ",");
+                    }
+                    body.push_str(&format!("::serde::Serialize::serialize_json(&self.{i}, out);"));
+                }
+                push_literal(&mut body, "]");
+            }
+        }
+        ItemShape::UnitStruct => push_literal(&mut body, "null"),
+        ItemShape::Enum { variants } => {
+            body.push_str("match self {");
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    VariantShape::Unit => {
+                        body.push_str(&format!("Self::{vn} => {{"));
+                        push_literal(&mut body, &format!("\"{vn}\""));
+                        body.push_str("},");
+                    }
+                    VariantShape::Tuple { arity } => {
+                        let binds: Vec<String> = (0..*arity).map(|i| format!("__f{i}")).collect();
+                        body.push_str(&format!("Self::{vn}({}) => {{", binds.join(",")));
+                        if *arity == 1 {
+                            push_literal(&mut body, &format!("{{\"{vn}\":"));
+                            body.push_str("::serde::Serialize::serialize_json(__f0, out);");
+                            push_literal(&mut body, "}");
+                        } else {
+                            push_literal(&mut body, &format!("{{\"{vn}\":["));
+                            for (i, b) in binds.iter().enumerate() {
+                                if i > 0 {
+                                    push_literal(&mut body, ",");
+                                }
+                                body.push_str(&format!(
+                                    "::serde::Serialize::serialize_json({b}, out);"
+                                ));
+                            }
+                            push_literal(&mut body, "]}");
+                        }
+                        body.push_str("},");
+                    }
+                    VariantShape::Named { fields } => {
+                        body.push_str(&format!("Self::{vn} {{ {} }} => {{", fields.join(",")));
+                        push_literal(&mut body, &format!("{{\"{vn}\":{{"));
+                        for (i, f) in fields.iter().enumerate() {
+                            let prefix =
+                                if i == 0 { format!("\"{f}\":") } else { format!(",\"{f}\":") };
+                            push_literal(&mut body, &prefix);
+                            body.push_str(&format!(
+                                "::serde::Serialize::serialize_json({f}, out);"
+                            ));
+                        }
+                        push_literal(&mut body, "}}");
+                        body.push_str("},");
+                    }
+                }
+            }
+            body.push('}');
+        }
+    }
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn serialize_json(&self, out: &mut ::std::string::String) {{ {body} }}\n\
+         }}",
+        name = item.name,
+    )
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen_serialize(&item).parse().expect("generated impl parses"),
+        Err(msg) => format!("compile_error!({msg:?});").parse().expect("error tokens"),
+    }
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => format!("impl ::serde::Deserialize for {} {{}}", item.name)
+            .parse()
+            .expect("generated impl parses"),
+        Err(msg) => format!("compile_error!({msg:?});").parse().expect("error tokens"),
+    }
+}

@@ -67,11 +67,16 @@ impl JoinColumnPredictor {
         gbdt: &GbdtParams,
         cand_params: CandidateParams,
     ) -> Option<Self> {
-        let mut rows: Vec<Vec<f64>> = Vec::new();
-        let mut labels: Vec<f64> = Vec::new();
         const MAX_NEGATIVES: usize = 40;
-        for inv in invocations {
-            let Some(truth) = ground_truth_candidate(inv) else { continue };
+        // Candidate enumeration + feature extraction per invocation is the
+        // expensive part of training; invocations are independent, so fan
+        // them out and concatenate the per-invocation rows in input order.
+        let per_invocation = autosuggest_parallel::par_map(invocations, |inv| {
+            let mut rows: Vec<Vec<f64>> = Vec::new();
+            let mut labels: Vec<f64> = Vec::new();
+            let Some(truth) = ground_truth_candidate(inv) else {
+                return (rows, labels);
+            };
             let left = &inv.inputs[0];
             let right = &inv.inputs[1];
             let cands = candidates_with_truth(left, right, &truth, &cand_params);
@@ -87,6 +92,13 @@ impl JoinColumnPredictor {
                 rows.push(join_features(left, right, cand).values);
                 labels.push(if is_truth { 1.0 } else { 0.0 });
             }
+            (rows, labels)
+        });
+        let mut rows: Vec<Vec<f64>> = Vec::new();
+        let mut labels: Vec<f64> = Vec::new();
+        for (r, l) in per_invocation {
+            rows.extend(r);
+            labels.extend(l);
         }
         if rows.is_empty() {
             return None;
@@ -108,7 +120,11 @@ impl JoinColumnPredictor {
         right: &DataFrame,
         cands: &[JoinCandidate],
     ) -> Vec<usize> {
-        let scores: Vec<f64> = cands.iter().map(|c| self.score(left, right, c)).collect();
+        // Wide tables can enumerate thousands of candidates; score across
+        // the pool (input order preserved, tie-break unchanged).
+        let scores: Vec<f64> = autosuggest_parallel::Pool::global()
+            .with_min_items(64)
+            .par_map(cands, |c| self.score(left, right, c));
         let mut order: Vec<usize> = (0..cands.len()).collect();
         order.sort_by(|&a, &b| scores[b].total_cmp(&scores[a]).then(a.cmp(&b)));
         order

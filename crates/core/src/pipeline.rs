@@ -97,15 +97,45 @@ pub struct AutoSuggest {
     pub config: AutoSuggestConfig,
 }
 
+/// Wall-clock time of one pipeline stage, reported by
+/// [`AutoSuggest::train_timed`].
+#[derive(Debug, Clone)]
+pub struct StageTiming {
+    pub stage: &'static str,
+    pub seconds: f64,
+}
+
 impl AutoSuggest {
     /// Run the whole offline pipeline of Fig. 3: generate (stand-in for
     /// crawl), replay + instrument, filter, split without leakage, train
     /// every predictor.
     pub fn train(config: AutoSuggestConfig) -> AutoSuggest {
+        Self::train_timed(config).0
+    }
+
+    /// [`AutoSuggest::train`], also returning per-stage wall-clock timings
+    /// (consumed by `repro --timing`).
+    pub fn train_timed(config: AutoSuggestConfig) -> (AutoSuggest, Vec<StageTiming>) {
+        let mut timings: Vec<StageTiming> = Vec::new();
+        let mut stage_start = std::time::Instant::now();
+        let mut lap = |timings: &mut Vec<StageTiming>, stage: &'static str| {
+            timings.push(StageTiming {
+                stage,
+                seconds: stage_start.elapsed().as_secs_f64(),
+            });
+            stage_start = std::time::Instant::now();
+        };
+
         let corpus = CorpusGenerator::new(config.corpus.clone()).generate();
+        lap(&mut timings, "generate_corpus");
+
+        // Replay fan-out: notebooks are independent, and the pool returns
+        // reports in notebook order, so the log stream is bit-identical to
+        // the sequential one at any thread count.
         let engine = ReplayEngine::new(corpus.repository.clone());
         let reports: Vec<ReplayReport> =
-            corpus.notebooks.iter().map(|nb| engine.replay(nb)).collect();
+            autosuggest_parallel::par_map(&corpus.notebooks, |nb| engine.replay(nb));
+        lap(&mut timings, "replay");
 
         let all_invocations: Vec<OpInvocation> = reports
             .iter()
@@ -137,6 +167,7 @@ impl AutoSuggest {
         let train_groupby = of_kind(&train_invs, OpKind::GroupBy);
         let train_pivot = of_kind(&train_invs, OpKind::Pivot);
         let train_melt = of_kind(&train_invs, OpKind::Melt);
+        lap(&mut timings, "filter_and_split");
 
         fn refs(v: &[OpInvocation]) -> Vec<&OpInvocation> {
             v.iter().collect()
@@ -155,21 +186,24 @@ impl AutoSuggest {
         );
         let pivot = compat.clone().map(PivotPredictor::new);
         let unpivot = compat.map(UnpivotPredictor::new);
+        lap(&mut timings, "train_predictors");
 
         // Next-operator examples from per-notebook invocation streams,
-        // split on the same dataset groups.
+        // split on the same dataset groups. Scoring each step's input table
+        // with the single-operator models dominates this stage, and reports
+        // are independent — fan out per report, fold in report order.
         let mut train_examples: Vec<NextOpExample> = Vec::new();
         let mut test_examples: Vec<NextOpExample> = Vec::new();
         let mut train_sequences: Vec<Vec<usize>> = Vec::new();
         if let (Some(gb), Some(pv)) = (&groupby, &pivot) {
-            for report in &reports {
+            let per_report = autosuggest_parallel::par_map(&reports, |report| {
                 let stream: Vec<&OpInvocation> = report
                     .invocations
                     .iter()
                     .filter(|i| i.op.sequence_id().is_some())
                     .collect();
                 if stream.len() < 2 {
-                    continue;
+                    return None;
                 }
                 let is_test = {
                     // Same membership rule as grouped_split.
@@ -191,6 +225,9 @@ impl AutoSuggest {
                     });
                     prefix.push(label);
                 }
+                Some((is_test, examples, prefix))
+            });
+            for (is_test, examples, prefix) in per_report.into_iter().flatten() {
                 if is_test {
                     test_examples.extend(examples);
                 } else {
@@ -214,8 +251,9 @@ impl AutoSuggest {
         );
         let mut ngram = NgramModel::new(3, crate::nextop::NUM_OPS);
         ngram.train(&train_sequences);
+        lap(&mut timings, "train_nextop");
 
-        AutoSuggest {
+        let system = AutoSuggest {
             models: TrainedModels {
                 join,
                 join_type,
@@ -245,7 +283,8 @@ impl AutoSuggest {
             reports,
             filter_stats,
             config,
-        }
+        };
+        (system, timings)
     }
 }
 

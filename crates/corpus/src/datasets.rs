@@ -73,6 +73,17 @@ impl DatasetRepository {
         self.urls.get(url).map(String::as_str)
     }
 
+    /// Absorb another repository (union of datasets and URLs). Used to
+    /// combine the per-notebook deltas produced by parallel corpus
+    /// generation; planted slugs/URLs are unique per notebook, so the merge
+    /// order does not matter.
+    pub fn merge(&mut self, other: DatasetRepository) {
+        for (slug, files) in other.datasets {
+            self.datasets.entry(slug).or_default().extend(files);
+        }
+        self.urls.extend(other.urls);
+    }
+
     pub fn num_datasets(&self) -> usize {
         self.datasets.len()
     }

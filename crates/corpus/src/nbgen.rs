@@ -102,7 +102,47 @@ enum Archetype {
     Flow,
 }
 
-/// The corpus generator.
+impl Archetype {
+    /// Stable stream tag mixed into per-notebook seeds.
+    fn stream_tag(self) -> u64 {
+        match self {
+            Archetype::Join => 1,
+            Archetype::GroupBy => 2,
+            Archetype::Pivot => 3,
+            Archetype::Unpivot => 4,
+            Archetype::Json => 5,
+            Archetype::Flow => 6,
+        }
+    }
+}
+
+/// SplitMix64-style seed derivation: every notebook gets an RNG stream that
+/// is a pure function of `(corpus seed, archetype, ordinal, lane)` — no
+/// shared sequential RNG, so notebooks can be generated in any order (or in
+/// parallel) without changing their content.
+fn derive_seed(seed: u64, tag: u64, ordinal: u64, lane: u64) -> u64 {
+    let mut z = seed
+        ^ tag.wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        ^ ordinal.wrapping_mul(0xbf58_476d_1ce4_e5b9)
+        ^ lane.wrapping_mul(0x94d0_49bb_1331_11eb);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// One generation job: a per-archetype ordinal. A join job may emit twin
+/// notebooks (they share a dataset group and input tables).
+#[derive(Debug, Clone, Copy)]
+struct Job {
+    archetype: Archetype,
+    idx: usize,
+}
+
+/// The corpus generator. `CorpusGenerator::new(cfg).generate()` builds the
+/// full corpus; internally each notebook is produced by a short-lived
+/// per-notebook generator whose RNG, table generator, and serial are all
+/// derived from the notebook's identity (archetype + ordinal), never from a
+/// shared sequential stream.
 pub struct CorpusGenerator {
     rng: StdRng,
     tables: TableGenerator,
@@ -113,41 +153,67 @@ pub struct CorpusGenerator {
 
 impl CorpusGenerator {
     pub fn new(cfg: CorpusConfig) -> Self {
+        Self::for_notebook(&cfg, Archetype::Join, 0)
+    }
+
+    /// A generator scoped to one notebook: `serial` (used in notebook ids,
+    /// file basenames, URLs, and dataset slugs) is the per-archetype
+    /// ordinal, and both RNG streams are derived from it.
+    fn for_notebook(cfg: &CorpusConfig, archetype: Archetype, ordinal: usize) -> Self {
+        let tag = archetype.stream_tag();
         CorpusGenerator {
-            rng: StdRng::seed_from_u64(cfg.seed),
-            tables: TableGenerator::new(cfg.seed.wrapping_mul(31).wrapping_add(7), cfg.tables.clone()),
-            cfg,
+            rng: StdRng::seed_from_u64(derive_seed(cfg.seed, tag, ordinal as u64, 1)),
+            tables: TableGenerator::new(
+                derive_seed(cfg.seed, tag, ordinal as u64, 2),
+                cfg.tables.clone(),
+            ),
+            cfg: cfg.clone(),
             repo: DatasetRepository::new(),
-            serial: 0,
+            serial: ordinal,
         }
     }
 
-    /// Generate the full corpus.
-    pub fn generate(mut self) -> GeneratedCorpus {
+    /// Generate the full corpus. Jobs are independent (each carries its own
+    /// derived RNG streams and repository delta), so they fan out across
+    /// the deterministic thread pool; results are reassembled in job order
+    /// and are bit-identical at any `AUTOSUGGEST_THREADS`.
+    pub fn generate(self) -> GeneratedCorpus {
+        let cfg = self.cfg;
+        let mut jobs: Vec<Job> = Vec::new();
+        let mut push = |archetype: Archetype, count: usize| {
+            jobs.extend((0..count).map(|idx| Job { archetype, idx }));
+        };
+        push(Archetype::Join, cfg.join_notebooks);
+        push(Archetype::GroupBy, cfg.groupby_notebooks);
+        push(Archetype::Pivot, cfg.pivot_notebooks);
+        push(Archetype::Unpivot, cfg.unpivot_notebooks);
+        push(Archetype::Json, cfg.json_notebooks);
+        push(Archetype::Flow, cfg.flow_notebooks);
+
+        let pool = autosuggest_parallel::Pool::global().with_min_items(8);
+        let produced = pool.par_map(&jobs, |job| {
+            let mut generator = Self::for_notebook(&cfg, job.archetype, job.idx);
+            let notebooks = match job.archetype {
+                Archetype::Join => generator.join_notebooks(job.idx),
+                Archetype::GroupBy => vec![generator.groupby_notebook(job.idx)],
+                Archetype::Pivot => vec![generator.pivot_notebook(job.idx)],
+                Archetype::Unpivot => vec![generator.unpivot_notebook(job.idx)],
+                Archetype::Json => vec![generator.json_notebook(job.idx)],
+                Archetype::Flow => vec![generator.flow_notebook(job.idx)],
+            };
+            (notebooks, generator.repo)
+        });
+
         let mut notebooks = Vec::new();
-        for i in 0..self.cfg.join_notebooks {
-            notebooks.extend(self.join_notebooks(i));
+        let mut repository = DatasetRepository::new();
+        for (nbs, delta) in produced {
+            notebooks.extend(nbs);
+            repository.merge(delta);
         }
-        for i in 0..self.cfg.groupby_notebooks {
-            notebooks.push(self.groupby_notebook(i));
-        }
-        for i in 0..self.cfg.pivot_notebooks {
-            notebooks.push(self.pivot_notebook(i));
-        }
-        for i in 0..self.cfg.unpivot_notebooks {
-            notebooks.push(self.unpivot_notebook(i));
-        }
-        for i in 0..self.cfg.json_notebooks {
-            notebooks.push(self.json_notebook(i));
-        }
-        for i in 0..self.cfg.flow_notebooks {
-            notebooks.push(self.flow_notebook(i));
-        }
-        GeneratedCorpus { notebooks, repository: self.repo }
+        GeneratedCorpus { notebooks, repository }
     }
 
-    fn next_id(&mut self, kind: &str) -> String {
-        self.serial += 1;
+    fn next_id(&self, kind: &str) -> String {
         format!("nb-{kind}-{:05}", self.serial)
     }
 
@@ -222,13 +288,18 @@ impl CorpusGenerator {
     }
 
     /// One join case produces 1–2 notebooks (twins share the dataset group,
-    /// exercising the leakage-safe splitter and cross-notebook dedup).
+    /// exercising the leakage-safe splitter and cross-notebook dedup). The
+    /// twin runs on its own derived streams at an offset ordinal so its id,
+    /// file basenames, and quirks stay distinct from the primary's.
     fn join_notebooks(&mut self, idx: usize) -> Vec<Notebook> {
+        const TWIN_OFFSET: usize = 50_000;
         let case = self.tables.join_pair();
         let group = format!("join-ds-{idx}");
         let mut out = vec![self.join_notebook_for(&case, &group)];
         if self.rng.random_bool(0.2) {
-            out.push(self.join_notebook_for(&case, &group));
+            let mut twin = Self::for_notebook(&self.cfg, Archetype::Join, idx + TWIN_OFFSET);
+            out.push(twin.join_notebook_for(&case, &group));
+            self.repo.merge(twin.repo);
         }
         out
     }

@@ -84,34 +84,40 @@ pub fn enumerate_join_candidates(
 ) -> Vec<JoinCandidate> {
     let ltypes: Vec<DType> = left.columns().iter().map(|c| c.dtype()).collect();
     let rtypes: Vec<DType> = right.columns().iter().map(|c| c.dtype()).collect();
-    let lsketch: Vec<MinHashSketch> = left
-        .columns()
-        .iter()
-        .map(|c| MinHashSketch::from_hashes(c.non_null().map(value_hash), params.sketch_k))
-        .collect();
-    let rsketch: Vec<MinHashSketch> = right
-        .columns()
-        .iter()
-        .map(|c| MinHashSketch::from_hashes(c.non_null().map(value_hash), params.sketch_k))
-        .collect();
+    // Column sketches are independent; build them across the pool (order
+    // preserved, so downstream indices are unaffected).
+    let pool = autosuggest_parallel::Pool::global().with_min_items(8);
+    let lsketch: Vec<MinHashSketch> = pool.par_map(left.columns(), |c| {
+        MinHashSketch::from_hashes(c.non_null().map(value_hash), params.sketch_k)
+    });
+    let rsketch: Vec<MinHashSketch> = pool.par_map(right.columns(), |c| {
+        MinHashSketch::from_hashes(c.non_null().map(value_hash), params.sketch_k)
+    });
 
-    let mut singles: Vec<(usize, usize)> = Vec::new();
-    for li in 0..left.num_columns() {
-        for ri in 0..right.num_columns() {
-            if ltypes[li].unify(rtypes[ri]).is_none() {
-                continue;
+    // One parallel task per left column; flattening the per-`li` rows in
+    // order reproduces the sequential lexicographic (li, ri) enumeration.
+    let singles: Vec<(usize, usize)> = pool
+        .par_map_indexed(left.num_columns(), |li| {
+            let mut row: Vec<(usize, usize)> = Vec::new();
+            for ri in 0..right.num_columns() {
+                if ltypes[li].unify(rtypes[ri]).is_none() {
+                    continue;
+                }
+                if ltypes[li] == DType::Null && rtypes[ri] == DType::Null {
+                    continue;
+                }
+                let c = lsketch[li]
+                    .containment_in(&rsketch[ri])
+                    .max(rsketch[ri].containment_in(&lsketch[li]));
+                if c >= params.min_containment {
+                    row.push((li, ri));
+                }
             }
-            if ltypes[li] == DType::Null && rtypes[ri] == DType::Null {
-                continue;
-            }
-            let c = lsketch[li]
-                .containment_in(&rsketch[ri])
-                .max(rsketch[ri].containment_in(&lsketch[li]));
-            if c >= params.min_containment {
-                singles.push((li, ri));
-            }
-        }
-    }
+            row
+        })
+        .into_iter()
+        .flatten()
+        .collect();
 
     let mut out: Vec<JoinCandidate> = singles
         .iter()

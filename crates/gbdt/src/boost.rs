@@ -29,6 +29,10 @@ impl Default for GbdtParams {
     }
 }
 
+/// Row count below which batch prediction stays on the caller thread
+/// (a handful of tree walks is cheaper than a thread spawn).
+const PAR_PREDICT_MIN_ROWS: usize = 512;
+
 /// A fitted gradient-boosted ensemble.
 ///
 /// Under squared loss the negative gradient is the residual, so each round
@@ -63,8 +67,14 @@ impl Gbdt {
             }
             let idx = subsample_indices(n, params.subsample, round);
             let tree = RegressionTree::fit(data, &residuals, &idx, &params.tree);
-            for (i, p) in preds.iter_mut().enumerate() {
-                *p += params.learning_rate * tree.predict(data.row(i));
+            // Row predictions are independent; the pool returns them in row
+            // order and each update touches only its own slot, so the new
+            // prediction vector matches the sequential loop bit for bit.
+            let deltas = autosuggest_parallel::Pool::global()
+                .with_min_items(PAR_PREDICT_MIN_ROWS)
+                .par_map_indexed(n, |i| tree.predict(data.row(i)));
+            for (p, d) in preds.iter_mut().zip(deltas) {
+                *p += params.learning_rate * d;
             }
             trees.push(tree);
         }
@@ -83,9 +93,12 @@ impl Gbdt {
                 * self.trees.iter().map(|t| t.predict(x)).sum::<f64>()
     }
 
-    /// Predict scores for a batch of candidates.
+    /// Predict scores for a batch of candidates (fans out across the
+    /// thread pool; results stay in input order).
     pub fn predict_batch(&self, xs: &[Vec<f64>]) -> Vec<f64> {
-        xs.iter().map(|x| self.predict(x)).collect()
+        autosuggest_parallel::Pool::global()
+            .with_min_items(PAR_PREDICT_MIN_ROWS)
+            .par_map(xs, |x| self.predict(x))
     }
 
     /// Gain-based feature importance, normalised to sum to 1 (all-zero when

@@ -152,10 +152,23 @@ struct SplitChoice {
     gain: f64,
 }
 
+/// Row-count × feature-count product above which the per-feature scans of
+/// [`best_split`] fan out across the thread pool. Below it, the sort
+/// dominates so little that spawn overhead loses.
+const PAR_SPLIT_WORK: usize = 16 * 1024;
+
 /// Exact greedy split search: for every feature, sort rows by value and scan
 /// boundary positions, maximising the variance-reduction gain
 /// `SSE(parent) − SSE(left) − SSE(right)` computed incrementally from
 /// running sums.
+///
+/// Features are independent, so the per-feature scans run on the thread
+/// pool for large nodes. Each feature's gains are computed with exactly the
+/// sequential arithmetic (no cross-feature accumulation), and the reduce
+/// folds candidates in ascending feature order with a strictly-greater
+/// comparison — the earliest feature wins ties, exactly as in the
+/// sequential loop, so the chosen split is bit-identical at any thread
+/// count.
 fn best_split(
     data: &Dataset,
     targets: &[f64],
@@ -167,10 +180,9 @@ fn best_split(
     let total_sq: f64 = idx.iter().map(|&i| targets[i] * targets[i]).sum();
     let parent_sse = total_sq - total_sum * total_sum / n;
 
-    let mut best: Option<SplitChoice> = None;
-    let mut order: Vec<usize> = idx.to_vec();
-    for f in 0..data.num_features() {
+    let scan_feature = |order: &mut [usize], f: usize| -> Option<SplitChoice> {
         order.sort_by(|&a, &b| data.row(a)[f].total_cmp(&data.row(b)[f]));
+        let mut best: Option<SplitChoice> = None;
         let mut left_sum = 0.0;
         let mut left_sq = 0.0;
         for pos in 0..order.len() - 1 {
@@ -204,6 +216,28 @@ fn best_split(
                 }
                 best = Some(SplitChoice { feature: f, threshold, gain });
             }
+        }
+        best
+    };
+
+    let num_features = data.num_features();
+    let candidates: Vec<Option<SplitChoice>> =
+        if idx.len() * num_features >= PAR_SPLIT_WORK && autosuggest_parallel::current_threads() > 1
+        {
+            autosuggest_parallel::par_map_indexed(num_features, |f| {
+                let mut order = idx.to_vec();
+                scan_feature(&mut order, f)
+            })
+        } else {
+            // Sequential path reuses one sort buffer across features.
+            let mut order = idx.to_vec();
+            (0..num_features).map(|f| scan_feature(&mut order, f)).collect()
+        };
+
+    let mut best: Option<SplitChoice> = None;
+    for cand in candidates.into_iter().flatten() {
+        if best.as_ref().is_none_or(|b| cand.gain > b.gain) {
+            best = Some(cand);
         }
     }
     best

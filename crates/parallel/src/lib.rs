@@ -1,0 +1,373 @@
+//! Deterministic scoped work-stealing parallelism for the Auto-Suggest
+//! pipeline.
+//!
+//! The offline pipeline is embarrassingly parallel at three grains —
+//! notebooks (replay), features (GBDT split search), and candidates
+//! (join enumeration / scoring). This crate provides the one substrate all
+//! of them share, built on `std::thread::scope` with **no external
+//! dependencies** and one hard guarantee:
+//!
+//! > **Determinism contract.** Every combinator returns results in input
+//! > order and bit-identical to the sequential execution, regardless of
+//! > thread count, scheduling, or steal order. Parallelism never changes
+//! > *what* is computed, only *when*.
+//!
+//! The contract holds because work items only write to their own output
+//! slot (keyed by input index) and reductions always fold in input order
+//! after the parallel map completes. Anything order-sensitive (floating
+//! point accumulation, tie-breaking) therefore behaves exactly as in the
+//! sequential loop.
+//!
+//! ## Scheduling
+//!
+//! Each call carves the input into contiguous chunks (a few per worker)
+//! and deals them round-robin onto per-worker deques. Workers drain their
+//! own deque LIFO-from-front and, when empty, steal from the back of
+//! sibling deques — classic work-stealing at chunk granularity, which
+//! keeps the common case contention-free while still balancing skewed
+//! workloads (one huge notebook no longer serialises the tail).
+//!
+//! Workers are spawned per call via `std::thread::scope`, so closures may
+//! borrow freely from the caller. Spawn cost (~tens of µs) is amortised by
+//! the [`SEQ_CUTOFF`] guard: small inputs run inline on the caller thread.
+//!
+//! ## Thread-count knobs
+//!
+//! Priority order: [`set_thread_override`] (tests/benches) >
+//! `AUTOSUGGEST_THREADS` (read once per process) >
+//! `std::thread::available_parallelism()`.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// Inputs smaller than this run inline: thread spawn overhead would exceed
+/// the win. Callers with very cheap per-item work should pass higher
+/// `min_items` to [`Pool::with_min_items`] instead of tuning this.
+const SEQ_CUTOFF: usize = 2;
+
+/// Chunks dealt per worker; >1 so stealing has something to grab.
+const CHUNKS_PER_WORKER: usize = 4;
+
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+static ENV_THREADS: OnceLock<Option<usize>> = OnceLock::new();
+
+/// Force the global thread count (0 / `None` clears the override).
+/// Intended for tests and benches that sweep thread counts in-process;
+/// production code should use the `AUTOSUGGEST_THREADS` environment
+/// variable instead.
+pub fn set_thread_override(threads: Option<usize>) {
+    THREAD_OVERRIDE.store(threads.unwrap_or(0), Ordering::SeqCst);
+}
+
+fn env_threads() -> Option<usize> {
+    *ENV_THREADS.get_or_init(|| {
+        std::env::var("AUTOSUGGEST_THREADS")
+            .ok()
+            .and_then(|s| s.trim().parse::<usize>().ok())
+            .filter(|&n| n > 0)
+    })
+}
+
+/// The effective worker count for new pool invocations.
+pub fn current_threads() -> usize {
+    let forced = THREAD_OVERRIDE.load(Ordering::SeqCst);
+    if forced > 0 {
+        return forced;
+    }
+    if let Some(n) = env_threads() {
+        return n;
+    }
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// A (stateless) handle bundling scheduling parameters. Cheap to construct;
+/// the worker threads themselves are scoped to each call.
+#[derive(Debug, Clone, Copy)]
+pub struct Pool {
+    threads: usize,
+    min_items: usize,
+}
+
+impl Default for Pool {
+    fn default() -> Self {
+        Pool::global()
+    }
+}
+
+impl Pool {
+    /// Pool honouring the global knobs (override > env > hardware).
+    pub fn global() -> Pool {
+        Pool { threads: current_threads(), min_items: SEQ_CUTOFF }
+    }
+
+    /// Pool with an explicit worker count (still ≥1).
+    pub fn with_threads(threads: usize) -> Pool {
+        Pool { threads: threads.max(1), min_items: SEQ_CUTOFF }
+    }
+
+    /// Raise the sequential cutoff for cheap per-item work.
+    pub fn with_min_items(mut self, min_items: usize) -> Pool {
+        self.min_items = min_items.max(SEQ_CUTOFF);
+        self
+    }
+
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Map `f` over `items`, returning results in input order.
+    pub fn par_map<T, U, F>(&self, items: &[T], f: F) -> Vec<U>
+    where
+        T: Sync,
+        U: Send,
+        F: Fn(&T) -> U + Sync,
+    {
+        self.par_map_indexed(items.len(), |i| f(&items[i]))
+    }
+
+    /// Map `f` over `0..n`, returning results in index order. The most
+    /// general entry point — everything else lowers to it.
+    pub fn par_map_indexed<U, F>(&self, n: usize, f: F) -> Vec<U>
+    where
+        U: Send,
+        F: Fn(usize) -> U + Sync,
+    {
+        let workers = self.threads.min(n);
+        if workers <= 1 || n < self.min_items {
+            return (0..n).map(f).collect();
+        }
+
+        // Deal contiguous chunks round-robin onto per-worker deques.
+        let chunk_size = n.div_ceil(workers * CHUNKS_PER_WORKER).max(1);
+        let chunks: Vec<(usize, usize)> = (0..n)
+            .step_by(chunk_size)
+            .map(|start| (start, (start + chunk_size).min(n)))
+            .collect();
+        let queues: Vec<Mutex<VecDeque<usize>>> =
+            (0..workers).map(|_| Mutex::new(VecDeque::new())).collect();
+        for (ci, _) in chunks.iter().enumerate() {
+            queues[ci % workers].lock().expect("queue poisoned").push_back(ci);
+        }
+
+        let results: Mutex<Vec<(usize, Vec<U>)>> = Mutex::new(Vec::with_capacity(chunks.len()));
+        let f = &f;
+        let chunks = &chunks;
+        let queues = &queues;
+        let results_ref = &results;
+
+        std::thread::scope(|scope| {
+            for w in 0..workers {
+                scope.spawn(move || {
+                    let mut local: Vec<(usize, Vec<U>)> = Vec::new();
+                    loop {
+                        // Own queue first (front), then steal (back) from
+                        // siblings in ring order.
+                        let mut claimed: Option<usize> = None;
+                        for probe in 0..workers {
+                            let qi = (w + probe) % workers;
+                            let mut q = queues[qi].lock().expect("queue poisoned");
+                            claimed = if probe == 0 { q.pop_front() } else { q.pop_back() };
+                            if claimed.is_some() {
+                                break;
+                            }
+                        }
+                        let Some(ci) = claimed else { break };
+                        let (start, end) = chunks[ci];
+                        local.push((start, (start..end).map(f).collect()));
+                    }
+                    if !local.is_empty() {
+                        results_ref.lock().expect("results poisoned").extend(local);
+                    }
+                });
+            }
+        });
+
+        let mut parts = results.into_inner().expect("results poisoned");
+        parts.sort_unstable_by_key(|(start, _)| *start);
+        let mut out = Vec::with_capacity(n);
+        for (_, part) in parts {
+            out.extend(part);
+        }
+        debug_assert_eq!(out.len(), n);
+        out
+    }
+
+    /// Map over contiguous chunks of ~`chunk_size` items, in chunk order.
+    pub fn par_chunks<T, U, F>(&self, items: &[T], chunk_size: usize, f: F) -> Vec<U>
+    where
+        T: Sync,
+        U: Send,
+        F: Fn(&[T]) -> U + Sync,
+    {
+        let chunk_size = chunk_size.max(1);
+        let bounds: Vec<(usize, usize)> = (0..items.len())
+            .step_by(chunk_size)
+            .map(|s| (s, (s + chunk_size).min(items.len())))
+            .collect();
+        self.par_map_indexed(bounds.len(), |ci| {
+            let (s, e) = bounds[ci];
+            f(&items[s..e])
+        })
+    }
+
+    /// Order-preserving deterministic reduce: map in parallel, then fold
+    /// the mapped values **sequentially in input order**. `fold` therefore
+    /// sees exactly the same sequence as the equivalent sequential loop —
+    /// floating-point sums, argmax tie-breaks, and first-wins dedup all
+    /// stay bit-identical at any thread count.
+    pub fn par_reduce<T, U, A, M, R>(&self, items: &[T], map: M, init: A, mut fold: R) -> A
+    where
+        T: Sync,
+        U: Send,
+        M: Fn(&T) -> U + Sync,
+        R: FnMut(A, U) -> A,
+    {
+        let mapped = self.par_map(items, map);
+        let mut acc = init;
+        for v in mapped {
+            acc = fold(acc, v);
+        }
+        acc
+    }
+}
+
+/// [`Pool::par_map`] on the global pool.
+pub fn par_map<T, U, F>(items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    Pool::global().par_map(items, f)
+}
+
+/// [`Pool::par_map_indexed`] on the global pool.
+pub fn par_map_indexed<U, F>(n: usize, f: F) -> Vec<U>
+where
+    U: Send,
+    F: Fn(usize) -> U + Sync,
+{
+    Pool::global().par_map_indexed(n, f)
+}
+
+/// [`Pool::par_chunks`] on the global pool.
+pub fn par_chunks<T, U, F>(items: &[T], chunk_size: usize, f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&[T]) -> U + Sync,
+{
+    Pool::global().par_chunks(items, chunk_size, f)
+}
+
+/// [`Pool::par_reduce`] on the global pool.
+pub fn par_reduce<T, U, A, M, R>(items: &[T], map: M, init: A, fold: R) -> A
+where
+    T: Sync,
+    U: Send,
+    M: Fn(&T) -> U + Sync,
+    R: FnMut(A, U) -> A,
+{
+    Pool::global().par_reduce(items, map, init, fold)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn par_map_preserves_order_at_every_thread_count() {
+        let items: Vec<u64> = (0..997).collect();
+        let expect: Vec<u64> = items.iter().map(|&x| x * x + 1).collect();
+        for threads in [1, 2, 3, 4, 8, 16] {
+            let got = Pool::with_threads(threads).par_map(&items, |&x| x * x + 1);
+            assert_eq!(got, expect, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn par_map_indexed_handles_edge_sizes() {
+        for n in [0usize, 1, 2, 3, 7] {
+            let got = Pool::with_threads(4).par_map_indexed(n, |i| i * 2);
+            assert_eq!(got, (0..n).map(|i| i * 2).collect::<Vec<_>>(), "n={n}");
+        }
+    }
+
+    #[test]
+    fn par_chunks_covers_all_items_in_order() {
+        let items: Vec<usize> = (0..103).collect();
+        let sums = Pool::with_threads(4).par_chunks(&items, 10, |c| c.iter().sum::<usize>());
+        assert_eq!(sums.len(), 11);
+        assert_eq!(sums.iter().sum::<usize>(), items.iter().sum::<usize>());
+        // First chunk is exactly items 0..10.
+        assert_eq!(sums[0], (0..10).sum::<usize>());
+    }
+
+    #[test]
+    fn par_reduce_folds_in_input_order() {
+        // String concatenation is order-sensitive: any reordering would
+        // change the result.
+        let items: Vec<usize> = (0..200).collect();
+        for threads in [1, 3, 8] {
+            let s = Pool::with_threads(threads).par_reduce(
+                &items,
+                |&i| format!("{i},"),
+                String::new(),
+                |mut acc, part| {
+                    acc.push_str(&part);
+                    acc
+                },
+            );
+            let expect: String = items.iter().map(|i| format!("{i},")).collect();
+            assert_eq!(s, expect, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn skewed_workloads_are_stolen() {
+        // One item is 1000x heavier; with stealing, the other workers must
+        // still process the remaining items (this is a liveness/correctness
+        // smoke test — timing is not asserted).
+        let items: Vec<u64> = (0..64).collect();
+        let counter = AtomicU64::new(0);
+        let got = Pool::with_threads(4).par_map(&items, |&x| {
+            let spins = if x == 0 { 200_000 } else { 200 };
+            let mut acc = 0u64;
+            for i in 0..spins {
+                acc = acc.wrapping_add(std::hint::black_box(i ^ x));
+            }
+            counter.fetch_add(1, Ordering::Relaxed);
+            (x, acc & 1)
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 64);
+        assert_eq!(got.len(), 64);
+        for (i, (x, _)) in got.iter().enumerate() {
+            assert_eq!(*x, i as u64);
+        }
+    }
+
+    #[test]
+    fn override_beats_env() {
+        set_thread_override(Some(3));
+        assert_eq!(current_threads(), 3);
+        assert_eq!(Pool::global().threads(), 3);
+        set_thread_override(None);
+        assert!(current_threads() >= 1);
+    }
+
+    #[test]
+    fn panics_propagate_not_deadlock() {
+        let items: Vec<usize> = (0..64).collect();
+        let result = std::panic::catch_unwind(|| {
+            Pool::with_threads(4).par_map(&items, |&i| {
+                if i == 33 {
+                    panic!("boom");
+                }
+                i
+            })
+        });
+        assert!(result.is_err());
+    }
+}

@@ -6,6 +6,9 @@
 //!
 //! This umbrella crate re-exports the workspace:
 //!
+//! * [`parallel`] — the deterministic work-stealing thread pool
+//!   (`AUTOSUGGEST_THREADS` controls width; results are bit-identical at
+//!   every thread count);
 //! * [`dataframe`] — the columnar table engine (the "Pandas" substrate);
 //! * [`corpus`] — synthetic notebooks, the replay engine, data-flow graphs;
 //! * [`features`] — the paper's feature extractors (§4);
@@ -30,6 +33,7 @@
 //! ```
 
 pub use autosuggest_baselines as baselines;
+pub use autosuggest_parallel as parallel;
 pub use autosuggest_core as core;
 pub use autosuggest_corpus as corpus;
 pub use autosuggest_dataframe as dataframe;

@@ -1,36 +1,42 @@
 //! Property-based tests over the DataFrame substrate and solvers —
 //! invariants every replayed notebook implicitly relies on.
+//!
+//! Cases are generated from a seeded `StdRng` (64 per property), so runs
+//! are deterministic and need no external property-testing framework.
 
 use auto_suggest::dataframe::ops::{self, Agg, DropHow, JoinType};
 use auto_suggest::dataframe::{DataFrame, Value};
 use auto_suggest::graph::{ampt_exact, ampt_objective, cmut_greedy, AffinityGraph};
 use auto_suggest::ranking::{ndcg_at_k, precision_at_k};
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const CASES: u64 = 64;
 
 /// A small table: one string dim (bounded domain), one int dim, one float
 /// measure.
-fn table_strategy() -> impl Strategy<Value = DataFrame> {
-    let row = (0u8..5, 2000i64..2004, -1000i64..1000);
-    proptest::collection::vec(row, 1..40).prop_map(|rows| {
-        DataFrame::from_rows(
-            &["dim", "year", "value"],
-            rows.into_iter()
-                .map(|(d, y, v)| {
-                    vec![
-                        Value::Str(format!("d{d}")),
-                        Value::Int(y),
-                        Value::Float(v as f64 / 10.0),
-                    ]
-                })
-                .collect(),
-        )
-        .expect("valid frame")
-    })
+fn random_table(rng: &mut StdRng) -> DataFrame {
+    let rows = rng.random_range(1..40);
+    DataFrame::from_rows(
+        &["dim", "year", "value"],
+        (0..rows)
+            .map(|_| {
+                vec![
+                    Value::Str(format!("d{}", rng.random_range(0u8..5))),
+                    Value::Int(rng.random_range(2000i64..2004)),
+                    Value::Float(rng.random_range(-1000i64..1000) as f64 / 10.0),
+                ]
+            })
+            .collect(),
+    )
+    .expect("valid frame")
 }
 
-proptest! {
-    #[test]
-    fn groupby_partitions_rows(df in table_strategy()) {
+#[test]
+fn groupby_partitions_rows() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x5e_0001 + case);
+        let df = random_table(&mut rng);
         let out = ops::groupby(&df, &["dim"], &[("value", Agg::Count)]).unwrap();
         // Group count totals must equal the row count.
         let total: i64 = out
@@ -41,14 +47,18 @@ proptest! {
             .filter_map(Value::as_f64)
             .map(|f| f as i64)
             .sum();
-        prop_assert_eq!(total as usize, df.num_rows());
+        assert_eq!(total as usize, df.num_rows());
         // Group keys are distinct.
         let keys = out.column("dim").unwrap();
-        prop_assert_eq!(keys.distinct_count(), out.num_rows());
+        assert_eq!(keys.distinct_count(), out.num_rows());
     }
+}
 
-    #[test]
-    fn melt_then_pivot_roundtrips_cell_sums(df in table_strategy()) {
+#[test]
+fn melt_then_pivot_roundtrips_cell_sums() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x5e_0002 + case);
+        let df = random_table(&mut rng);
         // pivot → melt preserves the total of the measure (sum-aggregated,
         // ignoring NULL padding).
         let pivoted = ops::pivot_table(&df, &["dim"], &["year"], "value", Agg::Sum).unwrap();
@@ -69,77 +79,98 @@ proptest! {
                 .filter_map(Value::as_f64)
                 .sum()
         };
-        prop_assert!((sum(&df) - sum(&long)).abs() < 1e-6);
+        assert!((sum(&df) - sum(&long)).abs() < 1e-6);
     }
+}
 
-    #[test]
-    fn join_row_count_bounds(a in table_strategy(), b in table_strategy()) {
+#[test]
+fn join_row_count_bounds() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x5e_0003 + case);
+        let a = random_table(&mut rng);
+        let b = random_table(&mut rng);
         let inner = ops::merge(&a, &b, &["dim"], &["dim"], JoinType::Inner).unwrap();
         let left = ops::merge(&a, &b, &["dim"], &["dim"], JoinType::Left).unwrap();
         let outer = ops::merge(&a, &b, &["dim"], &["dim"], JoinType::Outer).unwrap();
-        prop_assert!(inner.num_rows() <= left.num_rows());
-        prop_assert!(left.num_rows() <= outer.num_rows());
-        prop_assert!(left.num_rows() >= a.num_rows());
-        prop_assert!(inner.num_rows() <= a.num_rows() * b.num_rows());
+        assert!(inner.num_rows() <= left.num_rows());
+        assert!(left.num_rows() <= outer.num_rows());
+        assert!(left.num_rows() >= a.num_rows());
+        assert!(inner.num_rows() <= a.num_rows() * b.num_rows());
     }
+}
 
-    #[test]
-    fn dropna_then_fillna_idempotent(df in table_strategy()) {
+#[test]
+fn dropna_then_fillna_idempotent() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x5e_0004 + case);
+        let df = random_table(&mut rng);
         // A clean frame is a fixed point of both operators.
         let clean = ops::dropna(&df, DropHow::Any, None).unwrap();
         let filled = ops::fillna_all(&clean, &Value::Int(0)).unwrap();
-        prop_assert_eq!(clean.content_hash(), filled.content_hash());
+        assert_eq!(clean.content_hash(), filled.content_hash());
     }
+}
 
-    #[test]
-    fn csv_roundtrip_preserves_content(df in table_strategy()) {
+#[test]
+fn csv_roundtrip_preserves_content() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x5e_0005 + case);
+        let df = random_table(&mut rng);
         let text = auto_suggest::dataframe::io::write_csv_string(&df);
         let back = auto_suggest::dataframe::io::read_csv_str(&text).unwrap();
-        prop_assert_eq!(df.content_hash(), back.content_hash());
+        assert_eq!(df.content_hash(), back.content_hash());
     }
 }
 
-/// Random affinity graphs for solver properties.
-fn graph_strategy(n: usize) -> impl Strategy<Value = AffinityGraph> {
-    proptest::collection::vec(-100i32..100, n * (n - 1) / 2).prop_map(move |ws| {
-        let mut g = AffinityGraph::new(n);
-        let mut k = 0;
-        for i in 0..n {
-            for j in (i + 1)..n {
-                g.set(i, j, ws[k] as f64 / 100.0);
-                k += 1;
-            }
+/// Random affinity graph for solver properties.
+fn random_graph(rng: &mut StdRng, n: usize) -> AffinityGraph {
+    let mut g = AffinityGraph::new(n);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            g.set(i, j, rng.random_range(-100i32..100) as f64 / 100.0);
         }
-        g
-    })
+    }
+    g
 }
 
-proptest! {
-    #[test]
-    fn ampt_exact_is_optimal_over_all_bisections(g in graph_strategy(6)) {
+#[test]
+fn ampt_exact_is_optimal_over_all_bisections() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x5e_0006 + case);
+        let g = random_graph(&mut rng, 6);
         let best = ampt_exact(&g).unwrap();
         for mask in 1u32..(1 << 6) - 1 {
             let in_first: Vec<bool> = (0..6).map(|v| mask >> v & 1 == 1).collect();
-            prop_assert!(ampt_objective(&g, &in_first) <= best.objective + 1e-9);
+            assert!(ampt_objective(&g, &in_first) <= best.objective + 1e-9);
         }
     }
+}
 
-    #[test]
-    fn cmut_greedy_solution_is_valid(g in graph_strategy(8)) {
+#[test]
+fn cmut_greedy_solution_is_valid() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x5e_0007 + case);
+        let g = random_graph(&mut rng, 8);
         let sol = cmut_greedy(&g).unwrap();
-        prop_assert!(sol.selected.len() >= 2);
-        prop_assert!(sol.selected.len() < 8);
+        assert!(sol.selected.len() >= 2);
+        assert!(sol.selected.len() < 8);
         let mut sorted = sol.selected.clone();
         sorted.dedup();
-        prop_assert_eq!(sorted.len(), sol.selected.len());
+        assert_eq!(sorted.len(), sol.selected.len());
     }
+}
 
-    #[test]
-    fn metrics_are_bounded(rels in proptest::collection::vec(any::<bool>(), 1..10), k in 1usize..5) {
+#[test]
+fn metrics_are_bounded() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x5e_0008 + case);
+        let len = rng.random_range(1usize..10);
+        let rels: Vec<bool> = (0..len).map(|_| rng.random_bool(0.5)).collect();
+        let k = rng.random_range(1usize..5);
         let num_relevant = rels.iter().filter(|&&r| r).count();
         let p = precision_at_k(&rels, num_relevant, k);
         let n = ndcg_at_k(&rels, num_relevant, k);
-        prop_assert!((0.0..=1.0).contains(&p));
-        prop_assert!((0.0..=1.0).contains(&n));
+        assert!((0.0..=1.0).contains(&p));
+        assert!((0.0..=1.0).contains(&n));
     }
 }
