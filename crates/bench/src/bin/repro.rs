@@ -89,6 +89,18 @@ fn main() {
     let t0 = Instant::now();
     let (ctx, stage_timings) = ReproContext::build_timed(config);
     let train_seconds = t0.elapsed().as_secs_f64();
+    let rb = &ctx.system.robustness;
+    if let Some(spec) = &rb.fault_spec {
+        eprintln!(
+            "[repro] fault injection active ({spec}): {} faults injected, {}/{} notebooks failed first pass, {} recovered on retry, {} quarantined, {} cell retries",
+            rb.total_injected(),
+            rb.failed_first_pass,
+            rb.notebooks,
+            rb.recovered_notebooks,
+            rb.quarantined_notebooks,
+            rb.cell_retries,
+        );
+    }
     eprintln!(
         "[repro] pipeline trained in {train_seconds:.1}s: {} join / {} groupby / {} pivot / {} melt test cases, {} next-op queries",
         ctx.system.test.join.len(),
@@ -125,6 +137,31 @@ fn main() {
             .zip(&results)
             .map(|((name, _), (_, secs))| json!({"name": *name, "seconds": *secs}))
             .collect();
+        let per_kind: Vec<Value> = autosuggest_corpus::ReplayErrorKind::ALL
+            .iter()
+            .map(|&k| {
+                let c = rb.kind(k);
+                json!({
+                    "kind": k.as_str(),
+                    "injected": c.injected,
+                    "failures": c.failures,
+                    "retries": c.retries,
+                    "recovered": c.recovered,
+                    "quarantined": c.quarantined,
+                })
+            })
+            .collect();
+        let robustness = json!({
+            "fault_spec": rb.fault_spec.clone().map(Value::String).unwrap_or(Value::Null),
+            "notebooks": rb.notebooks,
+            "failed_first_pass": rb.failed_first_pass,
+            "retried_notebooks": rb.retried_notebooks,
+            "recovered_notebooks": rb.recovered_notebooks,
+            "quarantined_notebooks": rb.quarantined_notebooks,
+            "cell_retries": rb.cell_retries,
+            "total_injected": rb.total_injected(),
+            "kinds": Value::Array(per_kind),
+        });
         let report = json!({
             "threads": threads,
             "fast": fast,
@@ -133,6 +170,7 @@ fn main() {
             "total_seconds": total_seconds,
             "stages": Value::Array(stages),
             "tables": Value::Array(table_times),
+            "robustness": robustness,
         });
         let path = "BENCH_repro.json";
         match std::fs::write(path, report.to_string()) {

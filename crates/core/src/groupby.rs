@@ -70,7 +70,7 @@ impl GroupByAggPredictor {
             return None;
         }
         let names = GROUPBY_FEATURE_NAMES.iter().map(|s| s.to_string()).collect();
-        let data = Dataset::new(names, rows, labels).expect("rectangular");
+        let data = Dataset::new(names, rows, labels).ok()?;
         Some(GroupByAggPredictor { model: Gbdt::fit(&data, gbdt), prior })
     }
 

@@ -104,7 +104,7 @@ impl JoinColumnPredictor {
             return None;
         }
         let names = JOIN_FEATURE_NAMES.iter().map(|s| s.to_string()).collect();
-        let data = Dataset::new(names, rows, labels).expect("feature rows are rectangular");
+        let data = Dataset::new(names, rows, labels).ok()?;
         Some(JoinColumnPredictor { model: Gbdt::fit(&data, gbdt), cand_params })
     }
 

@@ -16,6 +16,10 @@
 //! load a corpus, replay it, train every predictor on the resulting logs,
 //! and serve ranked recommendations.
 
+// Library code must degrade gracefully at crawl scale — panicking escape
+// hatches are confined to tests.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod groupby;
 pub mod join;
 pub mod join_type;

@@ -43,12 +43,19 @@ pub fn single_op_scores(
     if n == 0 {
         return vec![0.0; NUM_OPS];
     }
+    // An untrained GroupBy model (e.g. a corpus with zero groupby
+    // sequences) may produce no scores at all; table signals degrade to
+    // zero rather than panicking.
     let gb_scores = groupby.scores(df);
     let mut sorted_gb = gb_scores.clone();
     sorted_gb.sort_by(f64::total_cmp);
-    let top_gb = *sorted_gb.last().expect("non-empty");
-    let second_gb = if n >= 2 { sorted_gb[n - 2] } else { 0.0 };
-    let min_gb = sorted_gb[0];
+    let top_gb = sorted_gb.last().copied().unwrap_or(0.0);
+    let second_gb = if sorted_gb.len() >= 2 {
+        sorted_gb[sorted_gb.len() - 2]
+    } else {
+        0.0
+    };
+    let min_gb = sorted_gb.first().copied().unwrap_or(0.0);
     let measure_presence = (1.0 - min_gb).clamp(0.0, 1.0);
 
     let emptiness: Vec<f64> = df.columns().iter().map(|c| c.emptiness()).collect();

@@ -8,8 +8,8 @@ use crate::pivot::{CompatibilityModel, PivotPredictor};
 use crate::unpivot::UnpivotPredictor;
 use autosuggest_corpus::replay::OpInvocation;
 use autosuggest_corpus::{
-    filter_invocations, grouped_split, CorpusConfig, CorpusGenerator, FilterStats, OpKind,
-    ReplayEngine, ReplayReport,
+    filter_invocations, grouped_split, CorpusConfig, CorpusGenerator, FaultSpec, FilterStats,
+    OpKind, ReplayEngine, ReplayReport, RobustnessStats,
 };
 use autosuggest_features::CandidateParams;
 use autosuggest_gbdt::GbdtParams;
@@ -26,6 +26,9 @@ pub struct AutoSuggestConfig {
     pub test_fraction: f64,
     /// Seed for the grouped split.
     pub split_seed: u64,
+    /// Deterministic fault injection into replay. `None` (the default)
+    /// falls back to the `AUTOSUGGEST_FAULTS` environment variable.
+    pub faults: Option<FaultSpec>,
 }
 
 impl Default for AutoSuggestConfig {
@@ -37,6 +40,7 @@ impl Default for AutoSuggestConfig {
             nextop: NextOpConfig::default(),
             test_fraction: 0.2,
             split_seed: 17,
+            faults: None,
         }
     }
 }
@@ -94,6 +98,8 @@ pub struct AutoSuggest {
     /// All replay reports (corpus statistics, Tables 2 and 10).
     pub reports: Vec<ReplayReport>,
     pub filter_stats: FilterStats,
+    /// Failure/retry/quarantine accounting from corpus replay.
+    pub robustness: RobustnessStats,
     pub config: AutoSuggestConfig,
 }
 
@@ -131,10 +137,11 @@ impl AutoSuggest {
 
         // Replay fan-out: notebooks are independent, and the pool returns
         // reports in notebook order, so the log stream is bit-identical to
-        // the sequential one at any thread count.
-        let engine = ReplayEngine::new(corpus.repository.clone());
-        let reports: Vec<ReplayReport> =
-            autosuggest_parallel::par_map(&corpus.notebooks, |nb| engine.replay(nb));
+        // the sequential one at any thread count. Panics are isolated per
+        // notebook and retryable failures quarantined with bounded retry.
+        let faults = config.faults.clone().or_else(FaultSpec::from_env);
+        let engine = ReplayEngine::new(corpus.repository.clone()).with_faults(faults);
+        let (reports, robustness) = engine.replay_corpus(&corpus.notebooks);
         lap(&mut timings, "replay");
 
         let all_invocations: Vec<OpInvocation> = reports
@@ -216,7 +223,7 @@ impl AutoSuggest {
                 let mut prefix: Vec<usize> = Vec::new();
                 let mut examples = Vec::new();
                 for inv in &stream {
-                    let label = inv.op.sequence_id().expect("sequence op");
+                    let Some(label) = inv.op.sequence_id() else { continue };
                     let scores = single_op_scores(&inv.inputs[0], gb, pv.compatibility());
                     examples.push(NextOpExample {
                         prefix: prefix.clone(),
@@ -282,6 +289,7 @@ impl AutoSuggest {
             },
             reports,
             filter_stats,
+            robustness,
             config,
         };
         (system, timings)
@@ -317,5 +325,38 @@ mod tests {
         }
         assert!(!system.test.nextop.is_empty() || !system.train.nextop.is_empty());
         assert!(system.filter_stats.kept > 0);
+        assert_eq!(system.robustness.total_injected(), 0);
+    }
+
+    #[test]
+    fn zero_groupby_sequence_corpus_trains_without_panicking() {
+        // Regression: a replay log with no groupby (and no sequence)
+        // notebooks used to panic in single-operator scoring; now the
+        // next-op stage degrades to empty example sets.
+        let mut config = AutoSuggestConfig::fast(5);
+        config.corpus.join_notebooks = 0;
+        config.corpus.groupby_notebooks = 0;
+        config.corpus.pivot_notebooks = 0;
+        config.corpus.unpivot_notebooks = 0;
+        config.corpus.flow_notebooks = 0;
+        let system = AutoSuggest::train(config);
+        assert!(system.models.groupby.is_none());
+        assert!(system.models.pivot.is_none());
+        assert!(system.train.nextop.is_empty());
+        assert!(system.test.nextop.is_empty());
+    }
+
+    #[test]
+    fn zero_column_table_scores_are_all_zero() {
+        let system = AutoSuggest::train(AutoSuggestConfig::fast(3));
+        let (Some(gb), Some(pv)) = (&system.models.groupby, &system.models.pivot) else {
+            panic!("fast config trains groupby and pivot models");
+        };
+        let scores = crate::nextop::single_op_scores(
+            &autosuggest_dataframe::DataFrame::empty(),
+            gb,
+            pv.compatibility(),
+        );
+        assert_eq!(scores, vec![0.0; crate::nextop::NUM_OPS]);
     }
 }

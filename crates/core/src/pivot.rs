@@ -125,7 +125,7 @@ impl CompatibilityModel {
             return None;
         }
         let names = AFFINITY_FEATURE_NAMES.iter().map(|s| s.to_string()).collect();
-        let data = Dataset::new(names, rows, labels).expect("rectangular");
+        let data = Dataset::new(names, rows, labels).ok()?;
         Some(CompatibilityModel { model: Gbdt::fit(&data, gbdt) })
     }
 

@@ -42,7 +42,8 @@ pub fn filter_invocations(
             "{:?}|{:?}|{}|{}",
             inv.op,
             inv.input_hashes,
-            serde_json::to_string(&inv.params).expect("params serialise"),
+            serde_json::to_string(&inv.params)
+                .unwrap_or_else(|_| format!("{:?}", inv.params)),
             inv.output_hash,
         );
         if !seen.insert(key) {

@@ -15,8 +15,19 @@
 //! The result of replay is a stream of [`replay::OpInvocation`] records and
 //! per-notebook [`flowgraph::FlowGraph`]s — the "click-through log"
 //! equivalent every predictor trains on.
+//!
+//! Failures are first-class citizens: [`error::ReplayError`] classifies
+//! them, [`faults::FaultSpec`] injects them deterministically, and
+//! [`replay::ReplayEngine::replay_corpus`] quarantines and retries them
+//! (see DESIGN.md §7).
+
+// Library code must degrade gracefully at crawl scale — panicking escape
+// hatches are confined to tests.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod datasets;
+pub mod error;
+pub mod faults;
 pub mod filter;
 pub mod flowgraph;
 pub mod lang;
@@ -28,6 +39,8 @@ pub mod stats;
 pub mod tablegen;
 
 pub use datasets::DatasetRepository;
+pub use error::{ReplayError, ReplayErrorKind};
+pub use faults::{FaultKind, FaultSpec, KindCounters, RobustnessStats};
 pub use filter::{filter_invocations, FilterStats};
 pub use flowgraph::{FlowGraph, OpKind};
 pub use lang::{CellAst, Expr, Stmt};

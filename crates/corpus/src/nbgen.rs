@@ -222,10 +222,11 @@ impl CorpusGenerator {
         let mut stmts = vec![Stmt::Import { package: "pandas".into() }];
         if self.cfg.plant_failures {
             if self.rng.random_bool(0.4) {
-                let extra = ["matplotlib", "seaborn", "sklearn", "scipy"]
-                    .choose(&mut self.rng)
-                    .expect("pool");
-                stmts.push(Stmt::Import { package: (*extra).to_string() });
+                if let Some(extra) =
+                    ["matplotlib", "seaborn", "sklearn", "scipy"].choose(&mut self.rng)
+                {
+                    stmts.push(Stmt::Import { package: (*extra).to_string() });
+                }
             }
             if !*doomed && self.rng.random_bool(unrecoverable_rate(archetype) * 0.5) {
                 // Half of the unrecoverable failures are unknown packages...
@@ -514,7 +515,7 @@ impl CorpusGenerator {
                     .min_by_key(|d| {
                         table.df.column(d).map(|c| c.distinct_count()).unwrap_or(usize::MAX)
                     })
-                    .expect("non-empty")
+                    .unwrap_or(&independent[0])
                     .clone()
             } else {
                 independent[self.rng.random_range(0..independent.len())].clone()
@@ -524,9 +525,10 @@ impl CorpusGenerator {
             i.extend(independent.iter().filter(|t| !h.contains(t)).cloned());
             (i, h)
         } else {
-            let h = vec![entity_dims.last().expect("dims").clone()];
-            let i = entity_dims[..entity_dims.len() - 1].to_vec();
-            (i, h)
+            match entity_dims.split_last() {
+                Some((last, rest)) => (rest.to_vec(), vec![last.clone()]),
+                None => (Vec::new(), Vec::new()),
+            }
         };
         if index.is_empty() {
             std::mem::swap(&mut index, &mut header);
@@ -618,7 +620,8 @@ impl CorpusGenerator {
                 })
             })
             .collect();
-        let content = serde_json::to_string(&records).expect("serialisable");
+        let content =
+            serde_json::to_string(&records).unwrap_or_else(|_| "[]".to_string());
         let path = format!("api_dump_{idx}.json");
         let doom_file =
             self.cfg.plant_failures && !doomed && self.rng.random_bool(0.4);
@@ -846,7 +849,8 @@ impl CorpusGenerator {
                         .iter()
                         .find(|d| *d == "year" || *d == "quarter")
                         .cloned()
-                        .unwrap_or_else(|| dims.last().expect("dims").clone());
+                        .or_else(|| dims.last().cloned())
+                        .unwrap_or_else(|| "year".to_string());
                     let index: Vec<String> =
                         dims.iter().filter(|d| **d != header).cloned().collect();
                     if index.is_empty() {

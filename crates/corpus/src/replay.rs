@@ -1,7 +1,17 @@
 //! The replay engine (§3.2): execute notebooks cell-by-cell, repair
 //! missing files and packages, and instrument every operator invocation.
+//!
+//! Failures are classified into the [`ReplayError`] taxonomy and handled
+//! per kind: missing packages are installed, missing files are resolved,
+//! panics are caught (`catch_unwind`) and retried with a bound, timeouts
+//! and unresolvable paths fail the notebook but remain eligible for
+//! notebook-level quarantine retry in [`ReplayEngine::replay_corpus`].
+//! Seeded faults ([`FaultSpec`]) can be injected into cell execution to
+//! exercise every one of those paths deterministically.
 
 use crate::datasets::{extract_urls, DatasetRepository};
+use crate::error::{ReplayError, ReplayErrorKind};
+use crate::faults::{FaultKind, FaultSpec, RobustnessStats};
 use crate::flowgraph::{FlowGraph, OpKind};
 use crate::lang::{expr_inputs, Expr, FillValue, Stmt};
 use crate::notebook::Notebook;
@@ -9,6 +19,7 @@ use autosuggest_dataframe::ops::{self, Agg, DropHow, JoinType};
 use autosuggest_dataframe::{io, DataFrame, Value};
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, HashSet};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// Full parameterisation of one operator call — explicit arguments plus the
 /// implicit defaults Pandas would fill in, which the paper logs too ("8
@@ -91,6 +102,37 @@ pub enum ReplayOutcome {
     Timeout,
     /// The operator itself failed (schema mismatch etc.).
     ExecutionError(String),
+    /// A panic escaped an operator and retries did not clear it.
+    OperatorPanic(String),
+}
+
+impl ReplayOutcome {
+    /// The error kind behind a failed outcome (`None` for `Success`).
+    pub fn failure_kind(&self) -> Option<ReplayErrorKind> {
+        match self {
+            ReplayOutcome::Success => None,
+            ReplayOutcome::MissingFile(_) => Some(ReplayErrorKind::IoPath),
+            ReplayOutcome::MissingPackage(_) => Some(ReplayErrorKind::MissingPackage),
+            ReplayOutcome::Timeout => Some(ReplayErrorKind::Timeout),
+            ReplayOutcome::ExecutionError(_) => Some(ReplayErrorKind::SchemaMismatch),
+            ReplayOutcome::OperatorPanic(_) => Some(ReplayErrorKind::OperatorPanic),
+        }
+    }
+
+    /// Map a terminal [`ReplayError`] to the notebook outcome.
+    pub fn from_error(err: ReplayError) -> ReplayOutcome {
+        match err.kind {
+            ReplayErrorKind::IoPath => {
+                ReplayOutcome::MissingFile(err.subject.unwrap_or(err.message))
+            }
+            ReplayErrorKind::MissingPackage => {
+                ReplayOutcome::MissingPackage(err.subject.unwrap_or(err.message))
+            }
+            ReplayErrorKind::Timeout => ReplayOutcome::Timeout,
+            ReplayErrorKind::SchemaMismatch => ReplayOutcome::ExecutionError(err.message),
+            ReplayErrorKind::OperatorPanic => ReplayOutcome::OperatorPanic(err.message),
+        }
+    }
 }
 
 /// The replay result for one notebook.
@@ -108,6 +150,12 @@ pub struct ReplayReport {
     pub packages_installed: Vec<String>,
     /// Files recovered via basename search / URLs / the dataset API.
     pub files_recovered: Vec<String>,
+    /// Cell-level retry attempts performed (installs, recoveries, panic
+    /// retries) during this replay.
+    pub cell_retries: usize,
+    /// Kinds of the faults injected into this replay, in injection order
+    /// (empty when no fault spec is active).
+    pub injected_faults: Vec<ReplayErrorKind>,
 }
 
 /// Engine configuration.
@@ -118,11 +166,15 @@ pub struct ReplayConfig {
     pub cell_row_budget: usize,
     /// Maximum repair-and-retry attempts per cell.
     pub max_retries: usize,
+    /// Total notebook-level replay rounds in [`ReplayEngine::replay_corpus`]
+    /// (first pass + quarantine retries). 3 → up to two retries per
+    /// quarantined notebook.
+    pub max_notebook_rounds: usize,
 }
 
 impl Default for ReplayConfig {
     fn default() -> Self {
-        ReplayConfig { cell_row_budget: 2_000_000, max_retries: 8 }
+        ReplayConfig { cell_row_budget: 2_000_000, max_retries: 8, max_notebook_rounds: 3 }
     }
 }
 
@@ -135,6 +187,8 @@ pub struct ReplayEngine {
     /// Packages pre-installed in the base environment.
     pub preinstalled: HashSet<String>,
     pub repository: DatasetRepository,
+    /// Active fault-injection plan, if any.
+    faults: Option<FaultSpec>,
 }
 
 impl ReplayEngine {
@@ -153,6 +207,7 @@ impl ReplayEngine {
             package_registry,
             preinstalled,
             repository,
+            faults: None,
         }
     }
 
@@ -161,8 +216,31 @@ impl ReplayEngine {
         self
     }
 
-    /// Replay one notebook end to end.
+    /// Enable (or disable) deterministic fault injection.
+    pub fn with_faults(mut self, faults: Option<FaultSpec>) -> Self {
+        if faults.is_some() {
+            silence_injected_panic_reports();
+        }
+        self.faults = faults;
+        self
+    }
+
+    pub fn config(&self) -> &ReplayConfig {
+        &self.config
+    }
+
+    pub fn faults(&self) -> Option<&FaultSpec> {
+        self.faults.as_ref()
+    }
+
+    /// Replay one notebook end to end (quarantine round 0).
     pub fn replay(&self, nb: &Notebook) -> ReplayReport {
+        self.replay_round(nb, 0)
+    }
+
+    /// Replay one notebook in a given quarantine `round` (the round salts
+    /// fault-injection decisions so transient faults can clear on retry).
+    pub fn replay_round(&self, nb: &Notebook, round: usize) -> ReplayReport {
         let mut env = Env {
             vars: HashMap::new(),
             installed: self.preinstalled.clone(),
@@ -177,6 +255,8 @@ impl ReplayEngine {
             flow: FlowGraph::new(),
             packages_installed: Vec::new(),
             files_recovered: Vec::new(),
+            cell_retries: 0,
+            injected_faults: Vec::new(),
         };
 
         for (cell_idx, _cell) in nb.cells.iter().enumerate() {
@@ -189,15 +269,29 @@ impl ReplayEngine {
                 let mut trial_log: Vec<OpInvocation> = Vec::new();
                 let mut trial_flow: Vec<(OpKind, Vec<u64>, u64)> = Vec::new();
                 let mut budget = self.config.cell_row_budget;
+                let mut trial = CellTrial {
+                    env: &mut trial_env,
+                    log: &mut trial_log,
+                    flow: &mut trial_flow,
+                    budget: &mut budget,
+                    injected: &mut report.injected_faults,
+                    round,
+                    attempt: attempts - 1,
+                };
 
-                let result = self.run_cell(
-                    nb,
-                    cell_idx,
-                    &mut trial_env,
-                    &mut trial_log,
-                    &mut trial_flow,
-                    &mut budget,
-                );
+                // A panic anywhere inside the cell (planted operator bug or
+                // injected fault) is caught here and classified, so no
+                // notebook can take its batch down. The trial state is
+                // discarded on failure, so a mid-cell unwind cannot leak
+                // partial execution (`AssertUnwindSafe` is sound for it).
+                let result = catch_unwind(AssertUnwindSafe(|| {
+                    self.run_cell(nb, cell_idx, &mut trial)
+                }))
+                .unwrap_or_else(|payload| {
+                    Err(ReplayError::operator_panic(autosuggest_parallel::panic_message(
+                        payload.as_ref(),
+                    )))
+                });
                 match result {
                     Ok(()) => {
                         env = trial_env;
@@ -209,46 +303,152 @@ impl ReplayEngine {
                         break;
                     }
                     Err(err) if attempts <= self.config.max_retries => {
-                        // §3.2: parse the error message and attempt repair.
-                        if let Some(pkg) = parse_missing_package(&err) {
-                            if self.package_registry.contains(&pkg) {
-                                env.installed.insert(pkg.clone());
-                                report.packages_installed.push(pkg);
-                                continue;
-                            }
-                            report.outcome = ReplayOutcome::MissingPackage(pkg);
-                            return report;
-                        }
-                        if let Some(path) = parse_missing_file(&err) {
-                            match self.resolve_file(&path, nb, cell_idx, &env) {
-                                Some((resolved_name, content)) => {
-                                    env.files.insert(resolved_name.clone(), content);
-                                    report.files_recovered.push(resolved_name);
+                        // §3.2: classify the failure and attempt repair.
+                        match err.kind {
+                            ReplayErrorKind::MissingPackage => {
+                                let pkg = err
+                                    .package_name()
+                                    .unwrap_or("unknown-package")
+                                    .to_string();
+                                if self.package_registry.contains(&pkg) {
+                                    env.installed.insert(pkg.clone());
+                                    report.packages_installed.push(pkg);
+                                    report.cell_retries += 1;
                                     continue;
                                 }
-                                None => {
-                                    report.outcome = ReplayOutcome::MissingFile(path);
-                                    return report;
+                                report.outcome = ReplayOutcome::MissingPackage(pkg);
+                                return report;
+                            }
+                            ReplayErrorKind::IoPath => {
+                                let path = err
+                                    .missing_path()
+                                    .unwrap_or("unknown-path")
+                                    .to_string();
+                                match self.resolve_file(&path, nb, cell_idx, &env) {
+                                    Some((resolved_name, content)) => {
+                                        env.files.insert(resolved_name.clone(), content);
+                                        report.files_recovered.push(resolved_name);
+                                        report.cell_retries += 1;
+                                        continue;
+                                    }
+                                    None => {
+                                        report.outcome = ReplayOutcome::MissingFile(path);
+                                        return report;
+                                    }
                                 }
                             }
+                            ReplayErrorKind::OperatorPanic => {
+                                // Panics are often environmental; retry the
+                                // cell within the attempt bound.
+                                report.cell_retries += 1;
+                                continue;
+                            }
+                            ReplayErrorKind::Timeout | ReplayErrorKind::SchemaMismatch => {
+                                report.outcome = ReplayOutcome::from_error(err);
+                                return report;
+                            }
                         }
-                        if err == "timeout" {
-                            report.outcome = ReplayOutcome::Timeout;
-                            return report;
-                        }
-                        report.outcome = ReplayOutcome::ExecutionError(err);
-                        return report;
                     }
-                    Err(err) => {
-                        report.outcome = ReplayOutcome::ExecutionError(format!(
-                            "retries exhausted: {err}"
-                        ));
+                    Err(mut err) => {
+                        err.message = format!("retries exhausted: {}", err.message);
+                        report.outcome = ReplayOutcome::from_error(err);
                         return report;
                     }
                 }
             }
         }
         report
+    }
+
+    /// Replay a whole corpus with panic-isolated fan-out and
+    /// quarantine-with-bounded-retry.
+    ///
+    /// First pass replays every notebook across the pool; notebooks that
+    /// fail with a retryable kind ([`ReplayErrorKind::retryable`]) are
+    /// quarantined and retried in later rounds (up to
+    /// `max_notebook_rounds - 1` retries), with per-kind accounting.
+    /// Reports come back in notebook order, bit-identical at any thread
+    /// count.
+    pub fn replay_corpus(&self, notebooks: &[Notebook]) -> (Vec<ReplayReport>, RobustnessStats) {
+        let pool = autosuggest_parallel::Pool::global();
+        let mut stats = RobustnessStats {
+            fault_spec: self.faults.as_ref().map(FaultSpec::render),
+            notebooks: notebooks.len(),
+            ..Default::default()
+        };
+
+        let run_round = |idx: &[usize], round: usize| -> Vec<ReplayReport> {
+            let firsts: Vec<Result<ReplayReport, ReplayError>> =
+                pool.par_try_map(idx, |&i| Ok(self.replay_round(&notebooks[i], round)));
+            firsts
+                .into_iter()
+                .zip(idx)
+                .map(|(res, &i)| {
+                    // A panic that escapes even the engine's own isolation
+                    // (impossible barring engine bugs) still degrades to a
+                    // per-notebook failure instead of aborting the batch.
+                    res.unwrap_or_else(|err| failed_report(&notebooks[i], err))
+                })
+                .collect()
+        };
+
+        let all: Vec<usize> = (0..notebooks.len()).collect();
+        let mut reports = run_round(&all, 0);
+        for r in &reports {
+            stats.cell_retries += r.cell_retries;
+            for &k in &r.injected_faults {
+                stats.kind_mut(k).injected += 1;
+            }
+            if let Some(kind) = r.outcome.failure_kind() {
+                stats.failed_first_pass += 1;
+                stats.kind_mut(kind).failures += 1;
+            }
+        }
+
+        let mut entered_quarantine: HashSet<usize> = HashSet::new();
+        for round in 1..self.config.max_notebook_rounds.max(1) {
+            let retry_idx: Vec<usize> = reports
+                .iter()
+                .enumerate()
+                .filter(|(_, r)| {
+                    r.outcome.failure_kind().is_some_and(|k| k.retryable())
+                })
+                .map(|(i, _)| i)
+                .collect();
+            if retry_idx.is_empty() {
+                break;
+            }
+            let retried = run_round(&retry_idx, round);
+            for (&i, new_report) in retry_idx.iter().zip(retried) {
+                let old_kind = reports[i]
+                    .outcome
+                    .failure_kind()
+                    .unwrap_or(ReplayErrorKind::OperatorPanic);
+                if entered_quarantine.insert(i) {
+                    stats.retried_notebooks += 1;
+                }
+                stats.kind_mut(old_kind).retries += 1;
+                stats.cell_retries += new_report.cell_retries;
+                for &k in &new_report.injected_faults {
+                    stats.kind_mut(k).injected += 1;
+                }
+                if new_report.outcome == ReplayOutcome::Success {
+                    stats.recovered_notebooks += 1;
+                    stats.kind_mut(old_kind).recovered += 1;
+                }
+                reports[i] = new_report;
+            }
+        }
+
+        for r in &reports {
+            if let Some(kind) = r.outcome.failure_kind() {
+                if kind.retryable() {
+                    stats.quarantined_notebooks += 1;
+                    stats.kind_mut(kind).quarantined += 1;
+                }
+            }
+        }
+        (reports, stats)
     }
 
     /// Resolve a missing data file with the paper's three strategies:
@@ -286,84 +486,104 @@ impl ReplayEngine {
             .map(|content| (path.to_string(), content.to_string()))
     }
 
-    #[allow(clippy::too_many_arguments)]
     fn run_cell(
         &self,
         nb: &Notebook,
         cell_idx: usize,
-        env: &mut Env,
-        log: &mut Vec<OpInvocation>,
-        flow: &mut Vec<(OpKind, Vec<u64>, u64)>,
-        budget: &mut usize,
-    ) -> Result<(), String> {
+        trial: &mut CellTrial<'_>,
+    ) -> Result<(), ReplayError> {
+        if let Some(spec) = &self.faults {
+            if let Some(kind) = spec.fault_for(&nb.id, cell_idx, trial.round, trial.attempt) {
+                trial.injected.push(kind.error_kind());
+                match kind {
+                    FaultKind::Panic => {
+                        panic!("{INJECTED_PANIC_MARKER} operator panic in cell {cell_idx}")
+                    }
+                    FaultKind::Io => {
+                        return Err(ReplayError::io_path(format!(
+                            "injected://{}/cell{cell_idx}.csv",
+                            nb.id
+                        )))
+                    }
+                    FaultKind::Timeout => return Err(ReplayError::timeout()),
+                    FaultKind::Package => {
+                        return Err(ReplayError::missing_package("autosuggest_injected_pkg"))
+                    }
+                    FaultKind::Schema => {
+                        return Err(ReplayError::schema("KeyError: 'injected_fault_column'"))
+                    }
+                }
+            }
+        }
+
         let cell = &nb.cells[cell_idx];
         for stmt in &cell.ast {
             match stmt {
                 Stmt::Import { package } => {
-                    if !env.installed.contains(package) {
-                        return Err(format!(
-                            "ModuleNotFoundError: No module named '{package}'"
-                        ));
+                    if !trial.env.installed.contains(package) {
+                        return Err(ReplayError::missing_package(package));
                     }
                 }
                 Stmt::Assign { var, expr } => {
-                    let frame = self.eval(nb, cell_idx, expr, env, log, flow, budget)?;
-                    env.vars.insert(var.clone(), frame);
+                    let frame = self.eval(nb, cell_idx, expr, trial)?;
+                    trial.env.vars.insert(var.clone(), frame);
                 }
                 Stmt::Inspect { expr } => {
-                    self.eval(nb, cell_idx, expr, env, log, flow, budget)?;
+                    self.eval(nb, cell_idx, expr, trial)?;
                 }
             }
         }
         Ok(())
     }
 
-    #[allow(clippy::too_many_arguments)]
     fn eval(
         &self,
         nb: &Notebook,
         cell_idx: usize,
         expr: &Expr,
-        env: &mut Env,
-        log: &mut Vec<OpInvocation>,
-        flow: &mut Vec<(OpKind, Vec<u64>, u64)>,
-        budget: &mut usize,
-    ) -> Result<DataFrame, String> {
+        trial: &mut CellTrial<'_>,
+    ) -> Result<DataFrame, ReplayError> {
         // Gather input frames first (shared error for unknown variables).
         let mut inputs: Vec<DataFrame> = Vec::new();
         for v in expr_inputs(expr) {
-            match env.vars.get(v) {
+            match trial.env.vars.get(v) {
                 Some(f) => inputs.push(f.clone()),
-                None => return Err(format!("NameError: name '{v}' is not defined")),
+                None => {
+                    return Err(ReplayError::schema(format!(
+                        "NameError: name '{v}' is not defined"
+                    )))
+                }
             }
         }
         let in_rows: usize = inputs.iter().map(DataFrame::num_rows).sum();
-        if in_rows > *budget {
-            return Err("timeout".into());
+        if in_rows > *trial.budget {
+            return Err(ReplayError::timeout());
         }
-        *budget -= in_rows;
+        *trial.budget -= in_rows;
 
         let (op, params, output): (Option<OpKind>, Option<OpParams>, DataFrame) = match expr {
             Expr::ReadCsv { path } => {
-                let content = env
+                let content = trial
+                    .env
                     .files
                     .get(path)
-                    .ok_or_else(|| format!("FileNotFoundError: No such file: '{path}'"))?;
-                let df = io::read_csv_str(content).map_err(|e| e.to_string())?;
+                    .ok_or_else(|| ReplayError::io_path(path.clone()))?;
+                let df = io::read_csv_str(content).map_err(schema_err)?;
                 (None, None, df)
             }
             Expr::JsonNormalize { path, record_path } => {
-                let content = env
+                let content = trial
+                    .env
                     .files
                     .get(path)
-                    .ok_or_else(|| format!("FileNotFoundError: No such file: '{path}'"))?;
+                    .ok_or_else(|| ReplayError::io_path(path.clone()))?;
                 let doc: serde_json::Value =
-                    serde_json::from_str(content).map_err(|e| e.to_string())?;
+                    serde_json::from_str(content).map_err(schema_err)?;
                 let rp: Option<Vec<&str>> = record_path
                     .as_ref()
                     .map(|p| p.iter().map(String::as_str).collect());
                 let df = ops::json_normalize(&doc, rp.as_deref())
-                    .map_err(|e| e.to_string())?;
+                    .map_err(schema_err)?;
                 (
                     Some(OpKind::JsonNormalize),
                     Some(OpParams::JsonNormalize { record_path: record_path.clone() }),
@@ -374,7 +594,7 @@ impl ReplayEngine {
                 let lo: Vec<&str> = left_on.iter().map(String::as_str).collect();
                 let ro: Vec<&str> = right_on.iter().map(String::as_str).collect();
                 let df = ops::merge(&inputs[0], &inputs[1], &lo, &ro, *how)
-                    .map_err(|e| e.to_string())?;
+                    .map_err(schema_err)?;
                 (
                     Some(OpKind::Merge),
                     Some(OpParams::Merge {
@@ -392,7 +612,7 @@ impl ReplayEngine {
                 let k: Vec<&str> = keys.iter().map(String::as_str).collect();
                 let a: Vec<(&str, Agg)> =
                     aggs.iter().map(|(c, g)| (c.as_str(), *g)).collect();
-                let df = ops::groupby(&inputs[0], &k, &a).map_err(|e| e.to_string())?;
+                let df = ops::groupby(&inputs[0], &k, &a).map_err(schema_err)?;
                 (
                     Some(OpKind::GroupBy),
                     Some(OpParams::GroupBy {
@@ -408,7 +628,7 @@ impl ReplayEngine {
                 let i: Vec<&str> = index.iter().map(String::as_str).collect();
                 let h: Vec<&str> = header.iter().map(String::as_str).collect();
                 let df = ops::pivot_table(&inputs[0], &i, &h, values, *agg)
-                    .map_err(|e| e.to_string())?;
+                    .map_err(schema_err)?;
                 (
                     Some(OpKind::Pivot),
                     Some(OpParams::Pivot {
@@ -426,7 +646,7 @@ impl ReplayEngine {
                 let iv: Vec<&str> = id_vars.iter().map(String::as_str).collect();
                 let vv: Vec<&str> = value_vars.iter().map(String::as_str).collect();
                 let df = ops::melt(&inputs[0], &iv, &vv, var_name, value_name)
-                    .map_err(|e| e.to_string())?;
+                    .map_err(schema_err)?;
                 (
                     Some(OpKind::Melt),
                     Some(OpParams::Melt {
@@ -440,7 +660,7 @@ impl ReplayEngine {
             }
             Expr::Concat { frames } => {
                 let refs: Vec<&DataFrame> = inputs.iter().collect();
-                let df = ops::concat(&refs).map_err(|e| e.to_string())?;
+                let df = ops::concat(&refs).map_err(schema_err)?;
                 (
                     Some(OpKind::Concat),
                     Some(OpParams::Concat {
@@ -456,7 +676,7 @@ impl ReplayEngine {
                 let sub: Option<Vec<&str>> =
                     subset.as_ref().map(|s| s.iter().map(String::as_str).collect());
                 let df = ops::dropna(&inputs[0], how, sub.as_deref())
-                    .map_err(|e| e.to_string())?;
+                    .map_err(schema_err)?;
                 (
                     Some(OpKind::DropNa),
                     Some(OpParams::DropNa { how_all: *how_all, subset: subset.clone() }),
@@ -470,7 +690,7 @@ impl ReplayEngine {
                     FillValue::Str(s) => Value::Str(s.clone()),
                 };
                 let df =
-                    ops::fillna_all(&inputs[0], &v).map_err(|e| e.to_string())?;
+                    ops::fillna_all(&inputs[0], &v).map_err(schema_err)?;
                 (
                     Some(OpKind::FillNa),
                     Some(OpParams::FillNa { value: v.to_string() }),
@@ -484,8 +704,8 @@ impl ReplayEngine {
             let input_hashes: Vec<u64> =
                 inputs.iter().map(DataFrame::content_hash).collect();
             let output_hash = output.content_hash();
-            flow.push((op, input_hashes.clone(), output_hash));
-            log.push(OpInvocation {
+            trial.flow.push((op, input_hashes.clone(), output_hash));
+            trial.log.push(OpInvocation {
                 notebook_id: nb.id.clone(),
                 dataset_group: nb.dataset_group.clone(),
                 cell_index: cell_idx,
@@ -509,6 +729,63 @@ struct Env {
     installed: HashSet<String>,
     /// Resolvable file paths → contents (repo clone + recovered downloads).
     files: HashMap<String, String>,
+}
+
+/// One attempt at executing a cell: the snapshotted state it mutates plus
+/// the (round, attempt) coordinates that salt fault-injection decisions.
+struct CellTrial<'a> {
+    env: &'a mut Env,
+    log: &'a mut Vec<OpInvocation>,
+    flow: &'a mut Vec<(OpKind, Vec<u64>, u64)>,
+    budget: &'a mut usize,
+    injected: &'a mut Vec<ReplayErrorKind>,
+    round: usize,
+    attempt: usize,
+}
+
+/// Dataframe-operator failures are schema/data problems by construction.
+fn schema_err(e: impl std::fmt::Display) -> ReplayError {
+    ReplayError::schema(e.to_string())
+}
+
+/// Marker carried by every injected panic payload (see `run_cell`).
+const INJECTED_PANIC_MARKER: &str = "injected fault:";
+
+/// Injected panics are caught and classified a few frames up, so the
+/// default panic hook's stderr report is pure noise — hundreds of lines in
+/// a fault-injection sweep. Chain a hook that drops reports for payloads
+/// carrying the injection marker and forwards everything else untouched.
+fn silence_injected_panic_reports() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let injected = info
+                .payload()
+                .downcast_ref::<String>()
+                .is_some_and(|m| m.contains(INJECTED_PANIC_MARKER));
+            if !injected {
+                previous(info);
+            }
+        }));
+    });
+}
+
+/// Build the stand-in report for a notebook whose replay task itself
+/// failed (e.g. a panic escaping even the engine's own isolation).
+fn failed_report(nb: &Notebook, err: ReplayError) -> ReplayReport {
+    ReplayReport {
+        notebook_id: nb.id.clone(),
+        dataset_group: nb.dataset_group.clone(),
+        outcome: ReplayOutcome::from_error(err),
+        cells_executed: 0,
+        invocations: Vec::new(),
+        flow: FlowGraph::new(),
+        packages_installed: Vec::new(),
+        files_recovered: Vec::new(),
+        cell_retries: 0,
+        injected_faults: Vec::new(),
+    }
 }
 
 /// Parse `ModuleNotFoundError: No module named 'pkg'`.
@@ -699,7 +976,11 @@ mod tests {
     #[test]
     fn timeout_fires_on_budget_exhaustion() {
         let engine = ReplayEngine::new(DatasetRepository::new())
-            .with_config(ReplayConfig { cell_row_budget: 2, max_retries: 2 });
+            .with_config(ReplayConfig {
+                cell_row_budget: 2,
+                max_retries: 2,
+                ..ReplayConfig::default()
+            });
         let mut nb = Notebook::new("t", "g");
         nb.add_file("l.csv", csv_a());
         nb.push_cell(Cell::code(vec![
@@ -738,5 +1019,97 @@ mod tests {
         }]));
         let report = engine.replay(&nb);
         assert!(matches!(report.outcome, ReplayOutcome::ExecutionError(m) if m.contains("NameError")));
+    }
+
+    fn spec(s: &str) -> FaultSpec {
+        FaultSpec::parse(s).expect("fault spec")
+    }
+
+    #[test]
+    fn transient_injected_panic_is_retried_and_recovers() {
+        let engine = ReplayEngine::new(DatasetRepository::new())
+            .with_faults(Some(spec("panic=1.0,seed=7,transient=1.0")));
+        let report = engine.replay(&read_nb("data.csv", Some("data.csv")));
+        assert_eq!(report.outcome, ReplayOutcome::Success);
+        assert!(report.cell_retries >= 1);
+        assert_eq!(report.injected_faults, vec![ReplayErrorKind::OperatorPanic]);
+    }
+
+    #[test]
+    fn persistent_injected_panic_exhausts_retries_without_escaping() {
+        let engine = ReplayEngine::new(DatasetRepository::new())
+            .with_faults(Some(spec("panic=1.0,seed=7,transient=0.0")));
+        let report = engine.replay(&read_nb("data.csv", Some("data.csv")));
+        assert!(
+            matches!(&report.outcome, ReplayOutcome::OperatorPanic(m) if m.contains("retries exhausted")),
+            "got {:?}",
+            report.outcome
+        );
+        assert_eq!(report.cells_executed, 0);
+    }
+
+    #[test]
+    fn injected_io_fault_becomes_missing_file() {
+        let engine = ReplayEngine::new(DatasetRepository::new())
+            .with_faults(Some(spec("io=1.0,seed=7,transient=0.0")));
+        let report = engine.replay(&read_nb("data.csv", Some("data.csv")));
+        assert!(
+            matches!(&report.outcome, ReplayOutcome::MissingFile(p) if p.starts_with("injected://")),
+            "got {:?}",
+            report.outcome
+        );
+    }
+
+    #[test]
+    fn replay_corpus_quarantines_persistent_failures() {
+        let engine = ReplayEngine::new(DatasetRepository::new())
+            .with_faults(Some(spec("panic=1.0,seed=7,transient=0.0")));
+        let notebooks = vec![read_nb("data.csv", Some("data.csv"))];
+        let (reports, stats) = engine.replay_corpus(&notebooks);
+        assert_eq!(reports.len(), 1);
+        assert!(matches!(reports[0].outcome, ReplayOutcome::OperatorPanic(_)));
+        assert_eq!(stats.notebooks, 1);
+        assert_eq!(stats.failed_first_pass, 1);
+        assert_eq!(stats.retried_notebooks, 1);
+        assert_eq!(stats.recovered_notebooks, 0);
+        assert_eq!(stats.quarantined_notebooks, 1);
+        let panic_ctr = stats.kind(ReplayErrorKind::OperatorPanic);
+        assert_eq!(panic_ctr.failures, 1);
+        assert_eq!(panic_ctr.retries, 2); // max_notebook_rounds(3) - first pass
+        assert_eq!(panic_ctr.quarantined, 1);
+        assert!(panic_ctr.injected > 0);
+    }
+
+    #[test]
+    fn replay_corpus_recovers_transient_timeout_in_quarantine_round() {
+        // A transient timeout fails the whole notebook on round 0 (timeouts
+        // are not retried at cell level) and clears on the quarantine round.
+        let engine = ReplayEngine::new(DatasetRepository::new())
+            .with_faults(Some(spec("timeout=1.0,seed=7,transient=1.0")));
+        let notebooks = vec![read_nb("data.csv", Some("data.csv"))];
+        let (reports, stats) = engine.replay_corpus(&notebooks);
+        assert_eq!(reports[0].outcome, ReplayOutcome::Success);
+        assert_eq!(stats.failed_first_pass, 1);
+        assert_eq!(stats.recovered_notebooks, 1);
+        assert_eq!(stats.quarantined_notebooks, 0);
+        let t = stats.kind(ReplayErrorKind::Timeout);
+        assert_eq!(t.retries, 1);
+        assert_eq!(t.recovered, 1);
+        assert_eq!(t.quarantined, 0);
+    }
+
+    #[test]
+    fn replay_corpus_without_faults_reports_clean_stats() {
+        let engine = ReplayEngine::new(DatasetRepository::new());
+        let notebooks = vec![
+            read_nb("data.csv", Some("data.csv")),
+            read_nb("other.csv", Some("other.csv")),
+        ];
+        let (reports, stats) = engine.replay_corpus(&notebooks);
+        assert!(reports.iter().all(|r| r.outcome == ReplayOutcome::Success));
+        assert_eq!(stats.total_injected(), 0);
+        assert_eq!(stats.failed_first_pass, 0);
+        assert_eq!(stats.quarantined_notebooks, 0);
+        assert_eq!(stats.fault_spec, None);
     }
 }

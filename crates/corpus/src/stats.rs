@@ -28,6 +28,7 @@ pub struct CorpusStats {
     pub failures_missing_package: usize,
     pub failures_timeout: usize,
     pub failures_execution: usize,
+    pub failures_panic: usize,
     pub per_operator: HashMap<OpKind, OperatorCounts>,
 }
 
@@ -42,6 +43,7 @@ pub fn corpus_stats(reports: &[ReplayReport], filtered: &[OpInvocation]) -> Corp
             ReplayOutcome::MissingPackage(_) => stats.failures_missing_package += 1,
             ReplayOutcome::Timeout => stats.failures_timeout += 1,
             ReplayOutcome::ExecutionError(_) => stats.failures_execution += 1,
+            ReplayOutcome::OperatorPanic(_) => stats.failures_panic += 1,
         }
         let mut seen_ops: Vec<OpKind> = Vec::new();
         for inv in &r.invocations {
@@ -106,6 +108,8 @@ mod tests {
             flow,
             packages_installed: vec![],
             files_recovered: vec![],
+            cell_retries: 0,
+            injected_faults: vec![],
         }
     }
 

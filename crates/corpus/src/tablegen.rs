@@ -243,7 +243,7 @@ impl TableGenerator {
                         let code = SECTORS
                             .iter()
                             .position(|c| *c == e.category)
-                            .expect("known sector") as i64;
+                            .unwrap_or(0) as i64;
                         Value::Int(100 + code)
                     } else {
                         Value::Str(e.category.clone())
@@ -332,7 +332,7 @@ impl TableGenerator {
         }
         // Occasionally sprinkle nulls into a measure (dropna/fillna fodder).
         let df = {
-            let mut df = DataFrame::new(cols).expect("generated frame is valid");
+            let mut df = DataFrame::new(cols).unwrap_or_else(|_| DataFrame::empty());
             if self.rng.random_bool(0.4) {
                 let target = df.num_columns() - 1;
                 let rows = df.num_rows();
@@ -413,7 +413,7 @@ impl TableGenerator {
         let mut cols = lead;
         cols.push(Column::new("founded", founded));
         cols.push(Column::new(decoy_name, rank));
-        let df = DataFrame::new(cols).expect("generated frame is valid");
+        let df = DataFrame::new(cols).unwrap_or_else(|_| DataFrame::empty());
         GenTable {
             df,
             meta: TableMeta {
@@ -441,8 +441,8 @@ impl TableGenerator {
         // Offset a little so containment is high but imperfect.
         let l = Column::new("code", make(lrows, 0));
         let r = Column::new("batch_ref", make(rrows, self.rng.random_range(0..3)));
-        case.left.df.add_column(l).expect("fresh name");
-        case.right.df.add_column(r).expect("fresh name");
+        let _ = case.left.df.add_column(l);
+        let _ = case.right.df.add_column(r);
     }
 
     /// A wide pivot-shaped table: a few id columns plus a homogeneous block
@@ -537,7 +537,7 @@ impl TableGenerator {
                 .collect();
             cols.push(Column::new("total", totals));
         }
-        let df = DataFrame::new(cols).expect("generated frame is valid");
+        let df = DataFrame::new(cols).unwrap_or_else(|_| DataFrame::empty());
         let mut dim_cols = id_names;
         if with_total {
             dim_cols.push("total".to_string());
@@ -615,7 +615,9 @@ impl TableGenerator {
         if scenario < 0.25 {
             // Filter: right shrinks to key (+1 attribute).
             let keep: Vec<&str> = vec![right_key.as_str(), "name"];
-            right.df = right.df.select(&keep).expect("columns exist");
+            if let Ok(selected) = right.df.select(&keep) {
+                right.df = selected;
+            }
             right.meta.dim_cols.retain(|c| keep.contains(&c.as_str()));
             right.meta.measure_cols.clear();
             how = if self.rng.random_bool(0.95) { JoinType::Inner } else { JoinType::Left };
@@ -675,7 +677,9 @@ impl TableGenerator {
                 names.remove(pos);
                 names.insert(0, col.name().to_string());
                 let name_refs: Vec<&str> = names.iter().map(String::as_str).collect();
-                left.df = left.df.select(&name_refs).expect("columns exist");
+                if let Ok(selected) = left.df.select(&name_refs) {
+                    left.df = selected;
+                }
             }
             if let Ok(pos) = right.df.column_index("name") {
                 let mut names: Vec<String> =
@@ -683,7 +687,9 @@ impl TableGenerator {
                 let moved = names.remove(pos);
                 names.insert(0, moved);
                 let name_refs: Vec<&str> = names.iter().map(String::as_str).collect();
-                right.df = right.df.select(&name_refs).expect("columns exist");
+                if let Ok(selected) = right.df.select(&name_refs) {
+                    right.df = selected;
+                }
             }
             ("company".to_string(), "name".to_string())
         } else {
@@ -709,7 +715,7 @@ impl TableGenerator {
         assert!(n <= pool.len());
         let mut chosen: Vec<&str> = Vec::with_capacity(n);
         while chosen.len() < n {
-            let c = pool.choose(&mut self.rng).expect("non-empty pool");
+            let Some(c) = pool.choose(&mut self.rng) else { break };
             if !chosen.contains(c) {
                 chosen.push(c);
             }

@@ -36,10 +36,24 @@
 //! Priority order: [`set_thread_override`] (tests/benches) >
 //! `AUTOSUGGEST_THREADS` (read once per process) >
 //! `std::thread::available_parallelism()`.
+//!
+//! ## Fault isolation
+//!
+//! Every task body runs under `catch_unwind`, so one panicking item can
+//! never poison the work queues or abort sibling items: all remaining
+//! chunks are still executed. [`Pool::par_map`] re-raises the first panic
+//! (in input order) once the whole input has been processed — a panic is a
+//! programming error and should surface — while [`Pool::par_try_map`]
+//! converts panics into per-item `Err` values via [`TaskPanic`], which is
+//! what batch pipelines (notebook replay) use to degrade gracefully.
+//! Mutex poisoning is recovered rather than propagated, so a panic on one
+//! worker can never cascade into `PoisonError` panics on its siblings.
 
+use std::any::Any;
 use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Mutex, OnceLock};
+use std::sync::{Mutex, MutexGuard, OnceLock};
 
 /// Inputs smaller than this run inline: thread spawn overhead would exceed
 /// the win. Callers with very cheap per-item work should pass higher
@@ -51,6 +65,43 @@ const CHUNKS_PER_WORKER: usize = 4;
 
 static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
 static ENV_THREADS: OnceLock<Option<usize>> = OnceLock::new();
+
+/// A panic captured from a pool task, demoted to a value so sibling tasks
+/// keep running. `index` is the input position of the panicking item;
+/// `message` is the stringified panic payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskPanic {
+    pub index: usize,
+    pub message: String,
+}
+
+impl std::fmt::Display for TaskPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "task {} panicked: {}", self.index, self.message)
+    }
+}
+
+impl std::error::Error for TaskPanic {}
+
+/// Best-effort extraction of the human-readable message from a panic
+/// payload (`&str` and `String` payloads cover `panic!` in practice).
+pub fn panic_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Lock a mutex, recovering from poisoning: a panic elsewhere must not
+/// cascade into `PoisonError` panics on healthy workers. The guarded data
+/// (queue indices / result slots) is always in a consistent state because
+/// no task code runs while a lock is held.
+fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
 
 /// Force the global thread count (0 / `None` clears the override).
 /// Intended for tests and benches that sweep thread counts in-process;
@@ -128,14 +179,66 @@ impl Pool {
 
     /// Map `f` over `0..n`, returning results in index order. The most
     /// general entry point — everything else lowers to it.
+    ///
+    /// If an item panics, the remaining items still run to completion and
+    /// the first panic **in input order** is re-raised afterwards, so the
+    /// caller observes the same panic the sequential loop would (modulo
+    /// trailing items), and sibling work is never lost to queue poisoning.
     pub fn par_map_indexed<U, F>(&self, n: usize, f: F) -> Vec<U>
     where
         U: Send,
         F: Fn(usize) -> U + Sync,
     {
+        let caught = self.run_indexed_catch(n, &f);
+        let mut out = Vec::with_capacity(n);
+        for item in caught {
+            match item {
+                Ok(v) => out.push(v),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+        debug_assert_eq!(out.len(), n);
+        out
+    }
+
+    /// Fallible map preserving deterministic ordering of successes *and*
+    /// failures: `out[i]` is exactly `f(&items[i])`, with a panic in item
+    /// `i` demoted to `Err(E::from(TaskPanic))`. One broken item never
+    /// aborts or reorders its siblings, at any thread count.
+    pub fn par_try_map<T, U, E, F>(&self, items: &[T], f: F) -> Vec<Result<U, E>>
+    where
+        T: Sync,
+        U: Send,
+        E: Send + From<TaskPanic>,
+        F: Fn(&T) -> Result<U, E> + Sync,
+    {
+        let caught = self.run_indexed_catch(items.len(), &|i| f(&items[i]));
+        caught
+            .into_iter()
+            .enumerate()
+            .map(|(index, r)| match r {
+                Ok(inner) => inner,
+                Err(payload) => Err(E::from(TaskPanic {
+                    index,
+                    message: panic_message(payload.as_ref()),
+                })),
+            })
+            .collect()
+    }
+
+    /// The scheduling core: map `f` over `0..n` with every call guarded by
+    /// `catch_unwind`, returning per-item results in index order. Runs
+    /// inline below the parallel cutoff (identical catch semantics, so
+    /// behaviour never depends on thread count).
+    fn run_indexed_catch<U, F>(&self, n: usize, f: &F) -> Vec<Result<U, Box<dyn Any + Send>>>
+    where
+        U: Send,
+        F: Fn(usize) -> U + Sync,
+    {
+        let guarded = |i: usize| catch_unwind(AssertUnwindSafe(|| f(i)));
         let workers = self.threads.min(n);
         if workers <= 1 || n < self.min_items {
-            return (0..n).map(f).collect();
+            return (0..n).map(guarded).collect();
         }
 
         // Deal contiguous chunks round-robin onto per-worker deques.
@@ -147,11 +250,13 @@ impl Pool {
         let queues: Vec<Mutex<VecDeque<usize>>> =
             (0..workers).map(|_| Mutex::new(VecDeque::new())).collect();
         for (ci, _) in chunks.iter().enumerate() {
-            queues[ci % workers].lock().expect("queue poisoned").push_back(ci);
+            lock_recover(&queues[ci % workers]).push_back(ci);
         }
 
-        let results: Mutex<Vec<(usize, Vec<U>)>> = Mutex::new(Vec::with_capacity(chunks.len()));
-        let f = &f;
+        type Caught<U> = Result<U, Box<dyn Any + Send>>;
+        let results: Mutex<Vec<(usize, Vec<Caught<U>>)>> =
+            Mutex::new(Vec::with_capacity(chunks.len()));
+        let guarded = &guarded;
         let chunks = &chunks;
         let queues = &queues;
         let results_ref = &results;
@@ -159,14 +264,14 @@ impl Pool {
         std::thread::scope(|scope| {
             for w in 0..workers {
                 scope.spawn(move || {
-                    let mut local: Vec<(usize, Vec<U>)> = Vec::new();
+                    let mut local: Vec<(usize, Vec<Caught<U>>)> = Vec::new();
                     loop {
                         // Own queue first (front), then steal (back) from
                         // siblings in ring order.
                         let mut claimed: Option<usize> = None;
                         for probe in 0..workers {
                             let qi = (w + probe) % workers;
-                            let mut q = queues[qi].lock().expect("queue poisoned");
+                            let mut q = lock_recover(&queues[qi]);
                             claimed = if probe == 0 { q.pop_front() } else { q.pop_back() };
                             if claimed.is_some() {
                                 break;
@@ -174,16 +279,16 @@ impl Pool {
                         }
                         let Some(ci) = claimed else { break };
                         let (start, end) = chunks[ci];
-                        local.push((start, (start..end).map(f).collect()));
+                        local.push((start, (start..end).map(guarded).collect()));
                     }
                     if !local.is_empty() {
-                        results_ref.lock().expect("results poisoned").extend(local);
+                        lock_recover(results_ref).extend(local);
                     }
                 });
             }
         });
 
-        let mut parts = results.into_inner().expect("results poisoned");
+        let mut parts = results.into_inner().unwrap_or_else(|p| p.into_inner());
         parts.sort_unstable_by_key(|(start, _)| *start);
         let mut out = Vec::with_capacity(n);
         for (_, part) in parts {
@@ -259,6 +364,17 @@ where
     F: Fn(&[T]) -> U + Sync,
 {
     Pool::global().par_chunks(items, chunk_size, f)
+}
+
+/// [`Pool::par_try_map`] on the global pool.
+pub fn par_try_map<T, U, E, F>(items: &[T], f: F) -> Vec<Result<U, E>>
+where
+    T: Sync,
+    U: Send,
+    E: Send + From<TaskPanic>,
+    F: Fn(&T) -> Result<U, E> + Sync,
+{
+    Pool::global().par_try_map(items, f)
 }
 
 /// [`Pool::par_reduce`] on the global pool.
@@ -359,15 +475,98 @@ mod tests {
 
     #[test]
     fn panics_propagate_not_deadlock() {
+        // One item panics; the panic must reach the caller, but every
+        // sibling item must still have run (no aborted chunks, no poisoned
+        // queues) and the pool must stay fully usable afterwards.
         let items: Vec<usize> = (0..64).collect();
+        let completed = AtomicU64::new(0);
         let result = std::panic::catch_unwind(|| {
             Pool::with_threads(4).par_map(&items, |&i| {
                 if i == 33 {
                     panic!("boom");
                 }
+                completed.fetch_add(1, Ordering::Relaxed);
                 i
             })
         });
         assert!(result.is_err());
+        let payload = result.unwrap_err();
+        assert_eq!(panic_message(payload.as_ref()), "boom");
+        assert_eq!(
+            completed.load(Ordering::Relaxed),
+            63,
+            "sibling tasks must complete despite the panic"
+        );
+        // The pool is stateless per call, but this also proves no global
+        // state (env cache, override) was corrupted by the unwind.
+        let again = Pool::with_threads(4).par_map(&items, |&i| i + 1);
+        assert_eq!(again, (1..=64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn first_panic_in_input_order_wins() {
+        // Items 7 and 50 both panic; regardless of which worker hits which
+        // first, the re-raised payload must be item 7's (input order).
+        let items: Vec<usize> = (0..64).collect();
+        for threads in [1, 2, 4, 8] {
+            let result = std::panic::catch_unwind(|| {
+                Pool::with_threads(threads).par_map(&items, |&i| {
+                    if i == 7 || i == 50 {
+                        panic!("boom-{i}");
+                    }
+                    i
+                })
+            });
+            let payload = result.unwrap_err();
+            assert_eq!(panic_message(payload.as_ref()), "boom-7", "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn par_try_map_isolates_panics_and_errors_deterministically() {
+        #[derive(Debug, PartialEq)]
+        enum E {
+            Odd(usize),
+            Panic(String),
+        }
+        impl From<TaskPanic> for E {
+            fn from(p: TaskPanic) -> E {
+                E::Panic(format!("{}@{}", p.message, p.index))
+            }
+        }
+        let items: Vec<usize> = (0..97).collect();
+        let run = |threads: usize| {
+            Pool::with_threads(threads).par_try_map(&items, |&i| {
+                if i % 10 == 3 {
+                    panic!("injected {i}");
+                }
+                if i % 2 == 1 {
+                    return Err(E::Odd(i));
+                }
+                Ok(i * 2)
+            })
+        };
+        let one = run(1);
+        for threads in [2, 4, 8] {
+            assert_eq!(run(threads), one, "threads={threads}");
+        }
+        assert_eq!(one[0], Ok(0));
+        assert_eq!(one[1], Err(E::Odd(1)));
+        assert_eq!(one[3], Err(E::Panic("injected 3@3".into())));
+        assert_eq!(one.len(), 97);
+        // Every slot is filled: successes and failures interleave in input
+        // order with nothing dropped.
+        let panics = one.iter().filter(|r| matches!(r, Err(E::Panic(_)))).count();
+        assert_eq!(panics, 10);
+    }
+
+    #[test]
+    fn panic_message_extracts_common_payloads() {
+        let p1 = std::panic::catch_unwind(|| panic!("plain str")).unwrap_err();
+        assert_eq!(panic_message(p1.as_ref()), "plain str");
+        let p2 = std::panic::catch_unwind(|| panic!("formatted {}", 42)).unwrap_err();
+        assert_eq!(panic_message(p2.as_ref()), "formatted 42");
+        let p3 = std::panic::catch_unwind(|| std::panic::panic_any(17u32)).unwrap_err();
+        assert_eq!(panic_message(p3.as_ref()), "non-string panic payload");
     }
 }

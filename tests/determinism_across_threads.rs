@@ -8,7 +8,7 @@
 //! sweep would need subprocesses).
 
 use auto_suggest::core::{AutoSuggest, AutoSuggestConfig};
-use auto_suggest::corpus::{CorpusConfig, CorpusGenerator, ReplayEngine};
+use auto_suggest::corpus::{CorpusConfig, CorpusGenerator, FaultSpec, ReplayEngine};
 use auto_suggest::parallel::set_thread_override;
 use std::sync::Mutex;
 
@@ -109,4 +109,45 @@ fn trained_models_are_bit_identical_across_thread_counts() {
     let four = pipeline_fingerprint(4);
     assert!(one.contains("splits"));
     assert_eq!(one, four, "trained pipeline diverged between 1 and 4 threads");
+}
+
+/// Full quarantine-with-retry sweep under seeded fault injection: replay
+/// logs, injected-fault traces, retry counters, and quarantine lists must
+/// all be pure functions of the spec, never of scheduling.
+fn fault_injection_fingerprint(threads: usize) -> String {
+    set_thread_override(Some(threads));
+    let spec = FaultSpec::parse("panic=0.08,io=0.06,timeout=0.05,seed=11,transient=0.5")
+        .expect("valid spec");
+    let corpus = CorpusGenerator::new(CorpusConfig::small(9)).generate();
+    let engine = ReplayEngine::new(corpus.repository.clone()).with_faults(Some(spec));
+    let (reports, stats) = engine.replay_corpus(&corpus.notebooks);
+    assert_eq!(reports.len(), corpus.notebooks.len());
+    assert!(stats.total_injected() > 0, "spec injected nothing");
+    let mut log = String::new();
+    for r in &reports {
+        log.push_str(&format!(
+            "{} {:?} cells={} inv={} retries={} injected={:?}\n",
+            r.notebook_id,
+            r.outcome,
+            r.cells_executed,
+            r.invocations.len(),
+            r.cell_retries,
+            r.injected_faults,
+        ));
+    }
+    log.push_str(&format!("{stats:?}\n"));
+    set_thread_override(None);
+    log
+}
+
+#[test]
+fn fault_injection_is_deterministic_across_thread_counts() {
+    let _guard = OVERRIDE_LOCK.lock().unwrap();
+    let one = fault_injection_fingerprint(1);
+    let four = fault_injection_fingerprint(4);
+    assert!(one.contains("injected"));
+    assert_eq!(
+        one, four,
+        "fault-injected replay diverged between 1 and 4 threads"
+    );
 }
