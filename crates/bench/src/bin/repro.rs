@@ -1,9 +1,9 @@
 //! `repro` — regenerate every table of the Auto-Suggest evaluation.
 //!
 //! ```text
-//! repro [--fast] [--seed N] [--timing] all | table2 | table3 | table4 |
-//!       table5 | table6 | table7 | table8 | table9 | table10 | table11 |
-//!       ablation-ampt | ablation-cmut | ablation-join
+//! repro [--fast] [--seed N] [--timing] [--trace PATH] all | table2 |
+//!       table3 | table4 | table5 | table6 | table7 | table8 | table9 |
+//!       table10 | table11 | ablation-ampt | ablation-cmut | ablation-join
 //! ```
 //!
 //! `--fast` uses the small test-scale corpus (seconds instead of minutes);
@@ -12,8 +12,15 @@
 //! reported numbers.
 //!
 //! `--timing` additionally writes `BENCH_repro.json` to the current
-//! directory with per-stage pipeline timings, per-table wall-clock, and
-//! the thread count used (see `AUTOSUGGEST_THREADS`).
+//! directory with per-stage pipeline timings, per-table wall-clock,
+//! per-stage histograms from the obs layer, and the thread count used
+//! (see `AUTOSUGGEST_THREADS`).
+//!
+//! `--trace PATH` writes the full observability trace: the span tree
+//! (generate/replay/train/evaluate, down to per-notebook replay), every
+//! counter and gauge, and timing histograms. The `"deterministic"`
+//! section is byte-identical at any `AUTOSUGGEST_THREADS`; only the
+//! `"timing"` section varies run to run.
 //!
 //! Tables are evaluated concurrently on the shared work-stealing pool —
 //! each evaluator is a pure function of the trained context, so results
@@ -22,6 +29,7 @@
 use autosuggest_bench::tables::{self, ReproContext};
 use autosuggest_core::AutoSuggestConfig;
 use autosuggest_corpus::CorpusConfig;
+use autosuggest_obs as obs;
 use serde_json::{json, Value};
 use std::time::Instant;
 
@@ -49,6 +57,7 @@ fn main() {
     let mut fast = false;
     let mut timing = false;
     let mut seed = 42u64;
+    let mut trace_path: Option<String> = None;
     let mut targets: Vec<String> = Vec::new();
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
@@ -60,6 +69,9 @@ fn main() {
                     .next()
                     .and_then(|s| s.parse().ok())
                     .expect("--seed takes an integer");
+            }
+            "--trace" => {
+                trace_path = Some(it.next().expect("--trace takes a file path"));
             }
             other => targets.push(other.to_string()),
         }
@@ -86,6 +98,7 @@ fn main() {
     eprintln!(
         "[repro] generating corpus, replaying notebooks, training models (fast={fast}, seed={seed}, threads={threads})..."
     );
+    let repro_span = obs::span("repro");
     let t0 = Instant::now();
     let (ctx, stage_timings) = ReproContext::build_timed(config);
     let train_seconds = t0.elapsed().as_secs_f64();
@@ -117,15 +130,30 @@ fn main() {
         .iter()
         .filter(|(name, _)| all || targets.iter().any(|t| t == name))
         .collect();
-    let results: Vec<(String, f64)> = autosuggest_parallel::par_map(&selected, |(_, f)| {
+    let eval_span = obs::span("evaluate");
+    let results: Vec<(String, f64)> = autosuggest_parallel::par_map(&selected, |(name, f)| {
+        let _table_span = obs::span(&format!("table:{name}"));
         let start = Instant::now();
         let out = f(&ctx);
-        (out, start.elapsed().as_secs_f64())
+        let secs = start.elapsed().as_secs_f64();
+        obs::observe("evaluate.table_seconds", secs);
+        (out, secs)
     });
+    drop(eval_span);
     for (out, _) in &results {
         println!("{out}");
     }
     let total_seconds = t0.elapsed().as_secs_f64();
+    drop(repro_span);
+    let snapshot = obs::snapshot();
+
+    if let Some(path) = &trace_path {
+        let meta = json!({"threads": threads, "fast": fast, "seed": seed});
+        match obs::TraceSink::write(std::path::Path::new(path), &snapshot, meta) {
+            Ok(()) => eprintln!("[repro] wrote trace to {path}"),
+            Err(e) => eprintln!("[repro] failed to write trace {path}: {e}"),
+        }
+    }
 
     if timing {
         let stages: Vec<Value> = stage_timings
@@ -162,6 +190,14 @@ fn main() {
             "total_injected": rb.total_injected(),
             "kinds": Value::Array(per_kind),
         });
+        // Per-stage histograms (pipeline.*_seconds, replay.notebook_seconds,
+        // gbdt.split_scan_seconds, evaluate.table_seconds) from the obs
+        // layer's timing view.
+        let histograms = snapshot
+            .timing_value()
+            .get("histograms")
+            .cloned()
+            .unwrap_or(Value::Object(serde_json::Map::new()));
         let report = json!({
             "threads": threads,
             "fast": fast,
@@ -170,6 +206,7 @@ fn main() {
             "total_seconds": total_seconds,
             "stages": Value::Array(stages),
             "tables": Value::Array(table_times),
+            "histograms": histograms,
             "robustness": robustness,
         });
         let path = "BENCH_repro.json";

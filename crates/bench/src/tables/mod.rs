@@ -29,6 +29,26 @@ impl TableRow {
     }
 }
 
+/// A table's machine-readable evaluator: our computed rows, without the
+/// paper's reference rows or rendering.
+pub type RowsFn = fn(&ReproContext) -> Vec<TableRow>;
+
+/// Every table under golden-file regression (tests/repro_goldens.rs).
+/// The ablations are excluded: they retrain GBDTs and would dominate the
+/// test-suite wall-clock for numbers the main tables already pin down.
+pub const GOLDEN_TABLES: &[(&str, RowsFn)] = &[
+    ("table2", table2::rows),
+    ("table3", table3::rows),
+    ("table4", table4::rows),
+    ("table5", table5::rows),
+    ("table6", table6::rows),
+    ("table7", table6::importance_rows),
+    ("table8", table8::rows),
+    ("table9", table9::rows),
+    ("table10", table10::rows),
+    ("table11", table11::rows),
+];
+
 /// Everything the per-table evaluators need: the trained system plus
 /// history-based baselines fit on the training split.
 pub struct ReproContext {

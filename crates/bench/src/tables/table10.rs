@@ -3,12 +3,16 @@
 use super::{render_table, ReproContext, TableRow};
 use autosuggest_corpus::stats::operator_distribution;
 
-pub fn run(ctx: &ReproContext) -> String {
-    let dist = operator_distribution(&ctx.system.reports);
-    let ours: Vec<TableRow> = dist
+/// Our computed rows only (golden-file regression surface).
+pub fn rows(ctx: &ReproContext) -> Vec<TableRow> {
+    operator_distribution(&ctx.system.reports)
         .into_iter()
         .map(|(op, frac)| TableRow::new(op.as_str(), vec![frac]))
-        .collect();
+        .collect()
+}
+
+pub fn run(ctx: &ReproContext) -> String {
+    let ours = rows(ctx);
     let paper = vec![
         TableRow::new("groupby", vec![0.333]),
         TableRow::new("join", vec![0.276]),

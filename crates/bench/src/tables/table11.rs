@@ -23,10 +23,11 @@ where
     vec![mean(&p1), mean(&p2), mean(&r1), mean(&r2)]
 }
 
-pub fn run(ctx: &ReproContext) -> String {
+/// Our computed rows only (golden-file regression surface).
+pub fn rows(ctx: &ReproContext) -> Vec<TableRow> {
     let m = &ctx.system.models;
     let random = RandomNextOp::new(99);
-    let ours = vec![
+    vec![
         TableRow::new(
             "Auto-Suggest",
             evaluate(ctx, |_, p, t| m.nextop_full.predict_ranked(p, t)),
@@ -44,7 +45,11 @@ pub fn run(ctx: &ReproContext) -> String {
             evaluate(ctx, |_, p, t| m.nextop_single_ops.predict_ranked(p, t)),
         ),
         TableRow::new("Random", evaluate(ctx, |i, _, _| random.predict_ranked(i))),
-    ];
+    ]
+}
+
+pub fn run(ctx: &ReproContext) -> String {
+    let ours = rows(ctx);
     let paper = vec![
         TableRow::new("Auto-Suggest", vec![0.72, 0.79, 0.72, 0.85]),
         TableRow::new("RNN", vec![0.56, 0.68, 0.56, 0.77]),

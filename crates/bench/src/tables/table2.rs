@@ -14,7 +14,7 @@ fn archetype_of(notebook_id: &str) -> Option<&'static str> {
     None
 }
 
-pub fn run(ctx: &ReproContext) -> String {
+fn stats_and_rows(ctx: &ReproContext) -> (autosuggest_corpus::stats::CorpusStats, Vec<TableRow>) {
     // Re-run filtering over the full invocation stream (including operators
     // like json_normalize that the predictors do not consume).
     let all: Vec<_> = ctx
@@ -52,6 +52,16 @@ pub fn run(ctx: &ReproContext) -> String {
             ],
         ));
     }
+    (stats, rows)
+}
+
+/// Our computed rows only (golden-file regression surface).
+pub fn rows(ctx: &ReproContext) -> Vec<TableRow> {
+    stats_and_rows(ctx).1
+}
+
+pub fn run(ctx: &ReproContext) -> String {
+    let (stats, rows) = stats_and_rows(ctx);
     // Paper's Table 2 (counts in thousands at full GitHub scale).
     let paper = vec![
         TableRow::new("join (K)", vec![80.0, 12.6, 58.3, 11.2]),

@@ -38,8 +38,8 @@ where
     vec![mean(&p1), mean(&p2), mean(&n1), mean(&n2)]
 }
 
-/// Run the Table 3 evaluation; returns the rendered table.
-pub fn run(ctx: &ReproContext) -> String {
+/// Our computed rows only (golden-file regression surface).
+pub fn rows(ctx: &ReproContext) -> Vec<TableRow> {
     let model = ctx.system.models.join.as_ref().expect("join model trained");
     let cases: Vec<&OpInvocation> = ctx.system.test.join.iter().collect();
 
@@ -86,6 +86,12 @@ pub fn run(ctx: &ReproContext) -> String {
             }),
         ));
     }
+    ours
+}
+
+/// Run the Table 3 evaluation; returns the rendered table.
+pub fn run(ctx: &ReproContext) -> String {
+    let ours = rows(ctx);
 
     let paper = vec![
         TableRow::new("Auto-Suggest", vec![0.89, 0.92, 0.89, 0.93]),
@@ -107,6 +113,6 @@ pub fn run(ctx: &ReproContext) -> String {
             &ours,
             &paper,
         ),
-        cases.len()
+        ctx.system.test.join.len()
     )
 }

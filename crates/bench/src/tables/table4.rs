@@ -2,13 +2,18 @@
 
 use super::{render_table, ReproContext, TableRow};
 
-pub fn run(ctx: &ReproContext) -> String {
+/// Our computed rows only (golden-file regression surface).
+pub fn rows(ctx: &ReproContext) -> Vec<TableRow> {
     let model = ctx.system.models.join.as_ref().expect("join model trained");
-    let ours: Vec<TableRow> = model
+    model
         .importance_by_group()
         .into_iter()
         .map(|(group, imp)| TableRow::new(group, vec![imp]))
-        .collect();
+        .collect()
+}
+
+pub fn run(ctx: &ReproContext) -> String {
+    let ours = rows(ctx);
     let paper = vec![
         TableRow::new("left-ness", vec![0.35]),
         TableRow::new("val-range-overlap", vec![0.35]),

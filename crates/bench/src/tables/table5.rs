@@ -5,7 +5,7 @@ use autosuggest_core::join::ground_truth_candidate;
 use autosuggest_corpus::replay::OpParams;
 use autosuggest_dataframe::ops::JoinType;
 
-pub fn run(ctx: &ReproContext) -> String {
+fn counts(ctx: &ReproContext) -> (usize, usize, usize) {
     let model = ctx
         .system
         .models
@@ -27,13 +27,24 @@ pub fn run(ctx: &ReproContext) -> String {
             inner_hits += 1; // the vendor default always answers inner
         }
     }
-    let ours = vec![
+    (ours_hits, inner_hits, total)
+}
+
+/// Our computed rows only (golden-file regression surface).
+pub fn rows(ctx: &ReproContext) -> Vec<TableRow> {
+    let (ours_hits, inner_hits, total) = counts(ctx);
+    vec![
         TableRow::new("Auto-Suggest", vec![ours_hits as f64 / total.max(1) as f64]),
         TableRow::new(
             "Vendor-A (always inner)",
             vec![inner_hits as f64 / total.max(1) as f64],
         ),
-    ];
+    ]
+}
+
+pub fn run(ctx: &ReproContext) -> String {
+    let (_, inner_hits, total) = counts(ctx);
+    let ours = rows(ctx);
     let paper = vec![
         TableRow::new("Auto-Suggest", vec![0.88]),
         TableRow::new("Vendor-A (always inner)", vec![0.78]),

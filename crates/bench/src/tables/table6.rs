@@ -49,15 +49,15 @@ where
     vec![mean(&p1), mean(&p2), mean(&n1), mean(&n2), mean(&full)]
 }
 
-/// Table 6.
-pub fn run(ctx: &ReproContext) -> String {
+/// Our computed Table 6 rows only (golden-file regression surface).
+pub fn rows(ctx: &ReproContext) -> Vec<TableRow> {
     let model = ctx
         .system
         .models
         .groupby
         .as_ref()
         .expect("groupby model trained");
-    let ours = vec![
+    vec![
         TableRow::new("Auto-Suggest", evaluate(ctx, |df| model.scores(df))),
         TableRow::new("SQL-history", evaluate(ctx, |df| ctx.sql_history.scores(df))),
         TableRow::new("Coarse-grained-types", evaluate(ctx, coarse_type_scores)),
@@ -65,7 +65,12 @@ pub fn run(ctx: &ReproContext) -> String {
         TableRow::new("Min-Cardinality", evaluate(ctx, min_cardinality_scores)),
         TableRow::new("Vendor-B", evaluate(ctx, vendor_b_groupby_scores)),
         TableRow::new("Vendor-C", evaluate(ctx, vendor_c_groupby_scores)),
-    ];
+    ]
+}
+
+/// Table 6.
+pub fn run(ctx: &ReproContext) -> String {
+    let ours = rows(ctx);
     let paper = vec![
         TableRow::new("Auto-Suggest", vec![0.95, 0.97, 0.95, 0.98, 0.93]),
         TableRow::new("SQL-history", vec![0.58, 0.61, 0.58, 0.63, 0.53]),
@@ -87,19 +92,24 @@ pub fn run(ctx: &ReproContext) -> String {
     )
 }
 
-/// Table 7: GroupBy feature-group importances.
-pub fn run_importance(ctx: &ReproContext) -> String {
+/// Our computed Table 7 rows only (golden-file regression surface).
+pub fn importance_rows(ctx: &ReproContext) -> Vec<TableRow> {
     let model = ctx
         .system
         .models
         .groupby
         .as_ref()
         .expect("groupby model trained");
-    let ours: Vec<TableRow> = model
+    model
         .importance_by_group()
         .into_iter()
         .map(|(group, imp)| TableRow::new(group, vec![imp]))
-        .collect();
+        .collect()
+}
+
+/// Table 7: GroupBy feature-group importances.
+pub fn run_importance(ctx: &ReproContext) -> String {
+    let ours = importance_rows(ctx);
     let paper = vec![
         TableRow::new("col-type", vec![0.78]),
         TableRow::new("col-name-freq", vec![0.11]),

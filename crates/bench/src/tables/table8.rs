@@ -45,9 +45,10 @@ where
     vec![mean(&exact), mean(&ri)]
 }
 
-pub fn run(ctx: &ReproContext) -> String {
+/// Our computed rows only (golden-file regression surface).
+pub fn rows(ctx: &ReproContext) -> Vec<TableRow> {
     let model = ctx.system.models.pivot.as_ref().expect("pivot model trained");
-    let ours = vec![
+    vec![
         TableRow::new(
             "Auto-Suggest",
             evaluate(ctx, |df, dims| {
@@ -70,7 +71,11 @@ pub fn run(ctx: &ReproContext) -> String {
             "Balanced-Cut",
             evaluate(ctx, |df, dims| Some(balanced_split(df, dims))),
         ),
-    ];
+    ]
+}
+
+pub fn run(ctx: &ReproContext) -> String {
+    let ours = rows(ctx);
     let paper = vec![
         TableRow::new("Auto-Suggest", vec![0.77, 0.87]),
         TableRow::new("Affinity", vec![0.42, 0.56]),

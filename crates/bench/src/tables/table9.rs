@@ -31,14 +31,15 @@ where
     vec![mean(&full), mean(&precision), mean(&recall), mean(&f1)]
 }
 
-pub fn run(ctx: &ReproContext) -> String {
+/// Our computed rows only (golden-file regression surface).
+pub fn rows(ctx: &ReproContext) -> Vec<TableRow> {
     let model = ctx
         .system
         .models
         .unpivot
         .as_ref()
         .expect("unpivot model trained");
-    let ours = vec![
+    vec![
         TableRow::new(
             "Auto-Suggest",
             evaluate(ctx, |df| {
@@ -52,7 +53,11 @@ pub fn run(ctx: &ReproContext) -> String {
         ),
         TableRow::new("Data-type", evaluate(ctx, data_type_select)),
         TableRow::new("Contiguous-type", evaluate(ctx, contiguous_type_select)),
-    ];
+    ]
+}
+
+pub fn run(ctx: &ReproContext) -> String {
+    let ours = rows(ctx);
     let paper = vec![
         TableRow::new("Auto-Suggest", vec![0.67, 0.93, 0.96, 0.94]),
         TableRow::new("Pattern-similarity", vec![0.21, 0.64, 0.46, 0.54]),

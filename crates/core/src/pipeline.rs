@@ -13,6 +13,7 @@ use autosuggest_corpus::{
 };
 use autosuggest_features::CandidateParams;
 use autosuggest_gbdt::GbdtParams;
+use autosuggest_obs as obs;
 use autosuggest_nn::NgramModel;
 
 /// End-to-end training configuration.
@@ -122,28 +123,35 @@ impl AutoSuggest {
     /// [`AutoSuggest::train`], also returning per-stage wall-clock timings
     /// (consumed by `repro --timing`).
     pub fn train_timed(config: AutoSuggestConfig) -> (AutoSuggest, Vec<StageTiming>) {
+        let _train_span = obs::span("train");
         let mut timings: Vec<StageTiming> = Vec::new();
         let mut stage_start = std::time::Instant::now();
         let mut lap = |timings: &mut Vec<StageTiming>, stage: &'static str| {
-            timings.push(StageTiming {
-                stage,
-                seconds: stage_start.elapsed().as_secs_f64(),
-            });
+            let seconds = stage_start.elapsed().as_secs_f64();
+            obs::observe(&format!("pipeline.{stage}_seconds"), seconds);
+            timings.push(StageTiming { stage, seconds });
             stage_start = std::time::Instant::now();
         };
 
-        let corpus = CorpusGenerator::new(config.corpus.clone()).generate();
+        let corpus = {
+            let _s = obs::span("generate_corpus");
+            CorpusGenerator::new(config.corpus.clone()).generate()
+        };
         lap(&mut timings, "generate_corpus");
 
         // Replay fan-out: notebooks are independent, and the pool returns
         // reports in notebook order, so the log stream is bit-identical to
         // the sequential one at any thread count. Panics are isolated per
         // notebook and retryable failures quarantined with bounded retry.
-        let faults = config.faults.clone().or_else(FaultSpec::from_env);
-        let engine = ReplayEngine::new(corpus.repository.clone()).with_faults(faults);
-        let (reports, robustness) = engine.replay_corpus(&corpus.notebooks);
+        let (reports, robustness) = {
+            let _s = obs::span("replay");
+            let faults = config.faults.clone().or_else(FaultSpec::from_env);
+            let engine = ReplayEngine::new(corpus.repository.clone()).with_faults(faults);
+            engine.replay_corpus(&corpus.notebooks)
+        };
         lap(&mut timings, "replay");
 
+        let split_span = obs::span("filter_and_split");
         let all_invocations: Vec<OpInvocation> = reports
             .iter()
             .flat_map(|r| r.invocations.iter().cloned())
@@ -174,8 +182,10 @@ impl AutoSuggest {
         let train_groupby = of_kind(&train_invs, OpKind::GroupBy);
         let train_pivot = of_kind(&train_invs, OpKind::Pivot);
         let train_melt = of_kind(&train_invs, OpKind::Melt);
+        drop(split_span);
         lap(&mut timings, "filter_and_split");
 
+        let predictors_span = obs::span("train_predictors");
         fn refs(v: &[OpInvocation]) -> Vec<&OpInvocation> {
             v.iter().collect()
         }
@@ -193,7 +203,21 @@ impl AutoSuggest {
         );
         let pivot = compat.clone().map(PivotPredictor::new);
         let unpivot = compat.map(UnpivotPredictor::new);
+        // Gauges are last-write-wins, so they are only ever set here, on
+        // the sequential training path — never from pool tasks.
+        if let Some(j) = &join {
+            for (group, v) in j.importance_by_group() {
+                obs::gauge_set(&format!("importance.join.{group}"), v);
+            }
+        }
+        if let Some(g) = &groupby {
+            for (group, v) in g.importance_by_group() {
+                obs::gauge_set(&format!("importance.groupby.{group}"), v);
+            }
+        }
+        drop(predictors_span);
         lap(&mut timings, "train_predictors");
+        let nextop_span = obs::span("train_nextop");
 
         // Next-operator examples from per-notebook invocation streams,
         // split on the same dataset groups. Scoring each step's input table
@@ -258,6 +282,7 @@ impl AutoSuggest {
         );
         let mut ngram = NgramModel::new(3, crate::nextop::NUM_OPS);
         ngram.train(&train_sequences);
+        drop(nextop_span);
         lap(&mut timings, "train_nextop");
 
         let system = AutoSuggest {

@@ -28,6 +28,7 @@
 //!   exercising quarantine.
 
 use crate::error::ReplayErrorKind;
+use autosuggest_obs as obs;
 use serde::{Deserialize, Serialize};
 
 /// What kind of failure to inject into a cell.
@@ -297,6 +298,45 @@ impl RobustnessStats {
     /// Total injected fault events across kinds.
     pub fn total_injected(&self) -> usize {
         ReplayErrorKind::ALL.iter().map(|&k| self.kind(k).injected).sum()
+    }
+
+    /// Fold these stats into the active obs registry under
+    /// `replay.faults.{kind}.{field}` (nonzero fields only, so clean
+    /// runs stay noise-free) plus the notebook-level totals. Called once
+    /// per `replay_corpus` sweep, after all rounds complete, so the
+    /// counters are a pure function of the workload and fault spec.
+    pub fn record_obs(&self) {
+        obs::counter_add("replay.notebooks", self.notebooks as u64);
+        let totals: [(&str, usize); 5] = [
+            ("replay.failed_first_pass", self.failed_first_pass),
+            ("replay.retried_notebooks", self.retried_notebooks),
+            ("replay.recovered_notebooks", self.recovered_notebooks),
+            ("replay.quarantined_notebooks", self.quarantined_notebooks),
+            ("replay.cell_retries", self.cell_retries),
+        ];
+        for (name, v) in totals {
+            if v > 0 {
+                obs::counter_add(name, v as u64);
+            }
+        }
+        for &kind in &ReplayErrorKind::ALL {
+            let c = self.kind(kind);
+            let fields: [(&str, usize); 5] = [
+                ("injected", c.injected),
+                ("failures", c.failures),
+                ("retries", c.retries),
+                ("recovered", c.recovered),
+                ("quarantined", c.quarantined),
+            ];
+            for (field, v) in fields {
+                if v > 0 {
+                    obs::counter_add(
+                        &format!("replay.faults.{}.{field}", kind.as_str()),
+                        v as u64,
+                    );
+                }
+            }
+        }
     }
 }
 

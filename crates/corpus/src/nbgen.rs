@@ -210,6 +210,7 @@ impl CorpusGenerator {
             notebooks.extend(nbs);
             repository.merge(delta);
         }
+        autosuggest_obs::counter_add("corpus.notebooks_generated", notebooks.len() as u64);
         GeneratedCorpus { notebooks, repository }
     }
 

@@ -17,6 +17,7 @@ use crate::lang::{expr_inputs, Expr, FillValue, Stmt};
 use crate::notebook::Notebook;
 use autosuggest_dataframe::ops::{self, Agg, DropHow, JoinType};
 use autosuggest_dataframe::{io, DataFrame, Value};
+use autosuggest_obs as obs;
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, HashSet};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -240,7 +241,21 @@ impl ReplayEngine {
 
     /// Replay one notebook in a given quarantine `round` (the round salts
     /// fault-injection decisions so transient faults can clear on retry).
+    ///
+    /// Instrumented: opens a `nb:{id}` span (cell spans nest inside),
+    /// records wall-clock into the `replay.notebook_seconds` histogram,
+    /// and counts executed cells and logged invocations.
     pub fn replay_round(&self, nb: &Notebook, round: usize) -> ReplayReport {
+        let _nb_span = obs::span(&format!("nb:{}", nb.id));
+        let started = std::time::Instant::now();
+        let report = self.replay_round_inner(nb, round);
+        obs::observe_since("replay.notebook_seconds", started);
+        obs::counter_add("replay.cells_executed", report.cells_executed as u64);
+        obs::counter_add("replay.op_invocations", report.invocations.len() as u64);
+        report
+    }
+
+    fn replay_round_inner(&self, nb: &Notebook, round: usize) -> ReplayReport {
         let mut env = Env {
             vars: HashMap::new(),
             installed: self.preinstalled.clone(),
@@ -260,6 +275,7 @@ impl ReplayEngine {
         };
 
         for (cell_idx, _cell) in nb.cells.iter().enumerate() {
+            let _cell_span = obs::span(&format!("cell{cell_idx}"));
             let mut attempts = 0;
             loop {
                 attempts += 1;
@@ -448,6 +464,7 @@ impl ReplayEngine {
                 }
             }
         }
+        stats.record_obs();
         (reports, stats)
     }
 
@@ -1096,6 +1113,101 @@ mod tests {
         assert_eq!(t.retries, 1);
         assert_eq!(t.recovered, 1);
         assert_eq!(t.quarantined, 0);
+    }
+
+    #[test]
+    fn every_fault_kind_is_injectable_and_surfaces_its_error_kind() {
+        // Each FaultKind, injected persistently at rate 1.0, must fail the
+        // notebook with exactly the ReplayErrorKind it maps to — no kind is
+        // uninjectable and none masquerades as another.
+        for kind in crate::faults::FaultKind::ALL {
+            let engine = ReplayEngine::new(DatasetRepository::new()).with_faults(Some(spec(
+                &format!("{}=1.0,seed=7,transient=0.0", kind.as_str()),
+            )));
+            let report = engine.replay(&read_nb("data.csv", Some("data.csv")));
+            assert_eq!(
+                report.outcome.failure_kind(),
+                Some(kind.error_kind()),
+                "injected {:?}, outcome {:?}",
+                kind,
+                report.outcome
+            );
+            assert!(
+                report.injected_faults.contains(&kind.error_kind()),
+                "{kind:?} was not recorded as injected"
+            );
+            assert_eq!(report.cells_executed, 0);
+        }
+    }
+
+    #[test]
+    fn non_retryable_faults_skip_retry_rounds_and_quarantine() {
+        // Schema and package failures are deterministic: replay_corpus must
+        // fail them on the first pass without burning retry rounds, and the
+        // quarantine counters must stay untouched.
+        for kind in [crate::faults::FaultKind::Package, crate::faults::FaultKind::Schema] {
+            let engine = ReplayEngine::new(DatasetRepository::new()).with_faults(Some(spec(
+                &format!("{}=1.0,seed=7,transient=0.0", kind.as_str()),
+            )));
+            let notebooks = vec![read_nb("data.csv", Some("data.csv"))];
+            let (reports, stats) = engine.replay_corpus(&notebooks);
+            assert_eq!(reports[0].outcome.failure_kind(), Some(kind.error_kind()));
+            assert_eq!(stats.failed_first_pass, 1);
+            assert_eq!(stats.retried_notebooks, 0, "{kind:?} must not be retried");
+            assert_eq!(stats.recovered_notebooks, 0);
+            assert_eq!(stats.quarantined_notebooks, 0);
+            let c = stats.kind(kind.error_kind());
+            assert_eq!(c.failures, 1);
+            assert_eq!(c.retries, 0);
+            assert_eq!(c.recovered, 0);
+            assert_eq!(c.quarantined, 0);
+        }
+    }
+
+    #[test]
+    fn obs_fault_counters_mirror_robustness_stats() {
+        // record_obs folds RobustnessStats into the metrics registry at the
+        // end of replay_corpus; every counter must equal the stats field it
+        // mirrors, and zero-valued fields must leave no counter behind.
+        let engine = ReplayEngine::new(DatasetRepository::new())
+            .with_faults(Some(spec("panic=1.0,seed=7,transient=0.0")));
+        let notebooks = vec![
+            read_nb("data.csv", Some("data.csv")),
+            read_nb("other.csv", Some("other.csv")),
+        ];
+        let ((_, stats), snap) =
+            obs::with_local_registry(|| engine.replay_corpus(&notebooks));
+        let ctr = |name: &str| snap.counters.get(name).copied().unwrap_or(0);
+        assert_eq!(ctr("replay.notebooks"), stats.notebooks as u64);
+        assert_eq!(ctr("replay.failed_first_pass"), stats.failed_first_pass as u64);
+        assert_eq!(ctr("replay.retried_notebooks"), stats.retried_notebooks as u64);
+        assert_eq!(ctr("replay.recovered_notebooks"), stats.recovered_notebooks as u64);
+        assert_eq!(
+            ctr("replay.quarantined_notebooks"),
+            stats.quarantined_notebooks as u64
+        );
+        assert_eq!(ctr("replay.cell_retries"), stats.cell_retries as u64);
+        assert!(stats.total_injected() > 0, "sanity: faults actually fired");
+        for kind in ReplayErrorKind::ALL {
+            let c = stats.kind(kind);
+            let fields = [
+                ("injected", c.injected),
+                ("failures", c.failures),
+                ("retries", c.retries),
+                ("recovered", c.recovered),
+                ("quarantined", c.quarantined),
+            ];
+            for (field, v) in fields {
+                let name = format!("replay.faults.{}.{field}", kind.as_str());
+                assert_eq!(ctr(&name), v as u64, "counter {name} diverged");
+                if v == 0 {
+                    assert!(
+                        !snap.counters.contains_key(&name),
+                        "zero-valued {name} should not be emitted"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

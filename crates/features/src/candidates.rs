@@ -2,6 +2,7 @@
 
 use crate::sketch::MinHashSketch;
 use autosuggest_dataframe::{DataFrame, DType, Value};
+use autosuggest_obs as obs;
 use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
 use std::hash::{Hash, Hasher};
@@ -78,6 +79,17 @@ pub fn key_tuple_hashes(df: &DataFrame, cols: &[usize]) -> HashSet<u64> {
 /// pairs of surviving single-column candidates that use distinct columns on
 /// both sides.
 pub fn enumerate_join_candidates(
+    left: &DataFrame,
+    right: &DataFrame,
+    params: &CandidateParams,
+) -> Vec<JoinCandidate> {
+    let _span = obs::span("enumerate_join_candidates");
+    let out = enumerate_inner(left, right, params);
+    obs::counter_add("features.join_candidates", out.len() as u64);
+    out
+}
+
+fn enumerate_inner(
     left: &DataFrame,
     right: &DataFrame,
     params: &CandidateParams,

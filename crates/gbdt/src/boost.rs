@@ -2,6 +2,7 @@
 
 use crate::data::Dataset;
 use crate::tree::{RegressionTree, TreeParams};
+use autosuggest_obs as obs;
 use serde::{Deserialize, Serialize};
 
 /// Hyper-parameters for the boosted ensemble.
@@ -56,6 +57,9 @@ impl Gbdt {
     pub fn fit(data: &Dataset, params: &GbdtParams) -> Self {
         assert!(!data.is_empty(), "cannot fit GBDT on an empty dataset");
         assert!(params.subsample > 0.0 && params.subsample <= 1.0);
+        let _fit_span = obs::span("gbdt_fit");
+        obs::counter_add("gbdt.fits", 1);
+        obs::counter_add("gbdt.rounds", params.n_trees as u64);
         let n = data.len();
         let base = data.labels().iter().sum::<f64>() / n as f64;
         let mut preds = vec![base; n];
@@ -66,7 +70,9 @@ impl Gbdt {
                 *r = data.label(i) - p;
             }
             let idx = subsample_indices(n, params.subsample, round);
+            let scan_started = std::time::Instant::now();
             let tree = RegressionTree::fit(data, &residuals, &idx, &params.tree);
+            obs::observe_since("gbdt.split_scan_seconds", scan_started);
             // Row predictions are independent; the pool returns them in row
             // order and each update touches only its own slot, so the new
             // prediction vector matches the sequential loop bit for bit.

@@ -1,0 +1,55 @@
+//! Deterministic observability for the Auto-Suggest pipeline:
+//! hierarchical spans, typed metrics, and a JSON trace sink — std-only,
+//! backed by the vendored `serde_json` shim.
+//!
+//! ## Determinism contract
+//!
+//! Everything except wall-clock durations is a pure function of the
+//! workload, never of scheduling:
+//!
+//! - **Counters** and **span call counts** are commutative `+=` folds —
+//!   worker recording order cannot change the totals.
+//! - **Span structure** (the tree of slash-joined paths) is identical at
+//!   any `AUTOSUGGEST_THREADS` setting because the parallel pool
+//!   captures the submitting thread's [`Ambient`] context and installs
+//!   it in every worker: a span opened inside a pool task nests under
+//!   the caller's span exactly as it would sequentially.
+//! - **Gauges** are last-write-wins and are therefore only set from
+//!   sequential pipeline code (enforced by convention, exercised by the
+//!   trace-determinism tests).
+//! - **Timing** (span nanoseconds, `*_seconds` histograms) is wall-clock
+//!   and explicitly excluded from
+//!   [`MetricsSnapshot::deterministic_value`]; it lives in
+//!   [`MetricsSnapshot::timing_value`] instead.
+//!
+//! ## Usage
+//!
+//! ```
+//! use autosuggest_obs as obs;
+//!
+//! let ((), snap) = obs::with_local_registry(|| {
+//!     let _root = obs::span("work");
+//!     obs::counter_add("items", 3);
+//!     obs::observe("batch_sizes", 3.0);
+//! });
+//! assert_eq!(snap.counters.get("items"), Some(&3));
+//! assert_eq!(snap.spans.get("work").map(|s| s.calls), Some(1));
+//! ```
+//!
+//! Production code records into the process-global registry implicitly;
+//! tests wrap workloads in [`with_local_registry`] for isolation.
+
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+mod metrics;
+mod sink;
+mod span;
+
+pub use metrics::{
+    is_timing_name, Histogram, MetricsRegistry, MetricsSnapshot, SpanStat, HISTOGRAM_BUCKETS,
+};
+pub use sink::TraceSink;
+pub use span::{
+    ambient, counter_add, gauge_set, global, observe, observe_since, snapshot, span,
+    with_ambient, with_local_registry, Ambient, SpanGuard,
+};

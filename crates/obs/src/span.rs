@@ -1,0 +1,265 @@
+//! Hierarchical spans with thread-local context and explicit ambient
+//! propagation across the parallel pool.
+//!
+//! Each thread carries a current span *path* (slash-joined names) and an
+//! optional registry override. [`span`] pushes a segment and returns a
+//! guard; dropping the guard records the elapsed wall-clock time under
+//! the full path and restores the previous path. Pool workers call
+//! [`ambient`] on the submitting thread and [`with_ambient`] inside the
+//! worker, so spans opened inside parallel tasks nest under the caller's
+//! span exactly as they would have sequentially — which is what makes
+//! span *structure* identical at any thread count.
+
+use crate::metrics::{MetricsRegistry, MetricsSnapshot};
+use std::cell::RefCell;
+use std::marker::PhantomData;
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
+
+static GLOBAL: OnceLock<Arc<MetricsRegistry>> = OnceLock::new();
+
+/// The process-global registry backing the free functions when no local
+/// registry is installed on the current thread.
+pub fn global() -> Arc<MetricsRegistry> {
+    GLOBAL.get_or_init(|| Arc::new(MetricsRegistry::new())).clone()
+}
+
+#[derive(Default)]
+struct Context {
+    registry: Option<Arc<MetricsRegistry>>,
+    path: String,
+}
+
+thread_local! {
+    static CTX: RefCell<Context> = RefCell::new(Context::default());
+}
+
+fn current_registry() -> Arc<MetricsRegistry> {
+    CTX.with(|ctx| ctx.borrow().registry.clone()).unwrap_or_else(global)
+}
+
+/// Add `delta` to a named counter in the active registry.
+pub fn counter_add(name: &str, delta: u64) {
+    current_registry().counter_add(name, delta);
+}
+
+/// Set a named gauge in the active registry. Gauges are last-write-wins:
+/// call only from sequential code, never from pool tasks.
+pub fn gauge_set(name: &str, value: f64) {
+    current_registry().gauge_set(name, value);
+}
+
+/// Record one observation into a named histogram in the active registry.
+pub fn observe(name: &str, value: f64) {
+    current_registry().observe(name, value);
+}
+
+/// Record the seconds elapsed since `start` into a named histogram.
+/// Histogram names carrying durations must end in `_seconds` so snapshot
+/// splitting can classify them as timing.
+pub fn observe_since(name: &str, start: Instant) {
+    observe(name, start.elapsed().as_secs_f64());
+}
+
+/// Snapshot the active registry (thread-local override or global).
+pub fn snapshot() -> MetricsSnapshot {
+    current_registry().snapshot()
+}
+
+/// RAII guard for one span. Records `calls += 1` and the elapsed
+/// nanoseconds under its full path on drop, then restores the enclosing
+/// path. `!Send`: a guard must be dropped on the thread that opened it.
+pub struct SpanGuard {
+    registry: Arc<MetricsRegistry>,
+    path: String,
+    prev_path: String,
+    start: Instant,
+    _not_send: PhantomData<*const ()>,
+}
+
+impl SpanGuard {
+    /// Full slash-joined path of this span.
+    pub fn path(&self) -> &str {
+        &self.path
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        self.registry.record_span(&self.path, self.start.elapsed().as_nanos());
+        CTX.with(|ctx| {
+            let mut ctx = ctx.borrow_mut();
+            // Restore only if nothing re-entered underneath us; spans are
+            // strictly scoped in practice but a mismatch must not corrupt
+            // an unrelated path.
+            if ctx.path == self.path {
+                ctx.path = std::mem::take(&mut self.prev_path);
+            }
+        });
+    }
+}
+
+/// Open a span named `name`, nested under the current thread's span
+/// path. The returned guard closes the span on drop.
+pub fn span(name: &str) -> SpanGuard {
+    let registry = current_registry();
+    let (path, prev_path) = CTX.with(|ctx| {
+        let mut ctx = ctx.borrow_mut();
+        let prev = ctx.path.clone();
+        let path = if prev.is_empty() { name.to_string() } else { format!("{prev}/{name}") };
+        ctx.path = path.clone();
+        (path, prev)
+    });
+    SpanGuard { registry, path, prev_path, start: Instant::now(), _not_send: PhantomData }
+}
+
+/// A capture of the calling thread's observability context: which
+/// registry it records into and where in the span tree it currently is.
+/// Cheap to clone; designed to be captured before spawning pool workers
+/// and installed inside each worker via [`with_ambient`].
+#[derive(Clone)]
+pub struct Ambient {
+    registry: Arc<MetricsRegistry>,
+    path: String,
+}
+
+/// Capture the current thread's observability context.
+pub fn ambient() -> Ambient {
+    CTX.with(|ctx| {
+        let ctx = ctx.borrow();
+        Ambient {
+            registry: ctx.registry.clone().unwrap_or_else(global),
+            path: ctx.path.clone(),
+        }
+    })
+}
+
+/// Restores the saved context when the installed scope unwinds (pool
+/// tasks run under `catch_unwind`, so the thread may survive a panic).
+struct RestoreCtx {
+    saved_registry: Option<Arc<MetricsRegistry>>,
+    saved_path: String,
+}
+
+impl Drop for RestoreCtx {
+    fn drop(&mut self) {
+        CTX.with(|ctx| {
+            let mut ctx = ctx.borrow_mut();
+            ctx.registry = self.saved_registry.take();
+            ctx.path = std::mem::take(&mut self.saved_path);
+        });
+    }
+}
+
+/// Run `f` with the given ambient context installed on this thread.
+/// Spans and metrics recorded inside land in the ambient registry,
+/// nested under the ambient span path. The previous context is restored
+/// afterwards, including across panics.
+pub fn with_ambient<T>(amb: &Ambient, f: impl FnOnce() -> T) -> T {
+    let _restore = CTX.with(|ctx| {
+        let mut ctx = ctx.borrow_mut();
+        let restore = RestoreCtx {
+            saved_registry: ctx.registry.take(),
+            saved_path: std::mem::take(&mut ctx.path),
+        };
+        ctx.registry = Some(amb.registry.clone());
+        ctx.path = amb.path.clone();
+        restore
+    });
+    f()
+}
+
+/// Run `f` against a fresh, isolated registry and return its result with
+/// the final snapshot. The registry is installed thread-locally, so
+/// concurrent tests do not see each other's metrics; parallel sections
+/// inside `f` still record into it because the pool propagates ambient
+/// context to its workers.
+pub fn with_local_registry<T>(f: impl FnOnce() -> T) -> (T, MetricsSnapshot) {
+    let registry = Arc::new(MetricsRegistry::new());
+    let amb = Ambient { registry: registry.clone(), path: String::new() };
+    let result = with_ambient(&amb, f);
+    let snap = registry.snapshot();
+    (result, snap)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_nest_and_record_calls() {
+        let ((), snap) = with_local_registry(|| {
+            let _outer = span("outer");
+            for _ in 0..3 {
+                let _inner = span("inner");
+            }
+        });
+        let outer = snap.spans.get("outer").copied().unwrap_or_default();
+        let inner = snap.spans.get("outer/inner").copied().unwrap_or_default();
+        assert_eq!(outer.calls, 1);
+        assert_eq!(inner.calls, 3);
+        assert!(!snap.spans.contains_key("inner"), "inner must nest under outer");
+    }
+
+    #[test]
+    fn guard_restores_path_after_drop() {
+        let ((), snap) = with_local_registry(|| {
+            {
+                let g = span("a");
+                assert_eq!(g.path(), "a");
+            }
+            let g = span("b");
+            assert_eq!(g.path(), "b", "path from dropped span leaked");
+        });
+        assert_eq!(snap.spans.len(), 2);
+    }
+
+    #[test]
+    fn ambient_carries_registry_and_path_to_other_threads() {
+        let ((), snap) = with_local_registry(|| {
+            let _outer = span("outer");
+            let amb = ambient();
+            std::thread::scope(|scope| {
+                for _ in 0..2 {
+                    let amb = amb.clone();
+                    scope.spawn(move || {
+                        with_ambient(&amb, || {
+                            let _task = span("task");
+                            counter_add("tasks", 1);
+                        });
+                    });
+                }
+            });
+        });
+        assert_eq!(snap.counters.get("tasks"), Some(&2));
+        let task = snap.spans.get("outer/task").copied().unwrap_or_default();
+        assert_eq!(task.calls, 2);
+    }
+
+    #[test]
+    fn with_ambient_restores_on_panic() {
+        let ((), snap) = with_local_registry(|| {
+            let amb = ambient();
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                with_ambient(&amb, || {
+                    counter_add("before_panic", 1);
+                    panic!("boom");
+                })
+            }));
+            assert!(result.is_err());
+            // Context must still be the local registry's, not corrupted.
+            counter_add("after_panic", 1);
+        });
+        assert_eq!(snap.counters.get("before_panic"), Some(&1));
+        assert_eq!(snap.counters.get("after_panic"), Some(&1));
+    }
+
+    #[test]
+    fn local_registry_isolates_from_global() {
+        let ((), snap) = with_local_registry(|| {
+            counter_add("isolated", 7);
+        });
+        assert_eq!(snap.counters.get("isolated"), Some(&7));
+        assert_eq!(global().snapshot().counters.get("isolated"), None);
+    }
+}

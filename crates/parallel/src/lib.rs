@@ -49,6 +49,7 @@
 //! Mutex poisoning is recovered rather than propagated, so a panic on one
 //! worker can never cascade into `PoisonError` panics on its siblings.
 
+use autosuggest_obs as obs;
 use std::any::Any;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -241,6 +242,12 @@ impl Pool {
             return (0..n).map(guarded).collect();
         }
 
+        // Workers inherit the submitting thread's observability context,
+        // so spans opened inside tasks nest under the caller's span and
+        // metrics land in the caller's registry — span structure stays
+        // identical to the inline path above at any thread count.
+        let ambient = obs::ambient();
+
         // Deal contiguous chunks round-robin onto per-worker deques.
         let chunk_size = n.div_ceil(workers * CHUNKS_PER_WORKER).max(1);
         let chunks: Vec<(usize, usize)> = (0..n)
@@ -263,27 +270,31 @@ impl Pool {
 
         std::thread::scope(|scope| {
             for w in 0..workers {
+                let ambient = ambient.clone();
                 scope.spawn(move || {
-                    let mut local: Vec<(usize, Vec<Caught<U>>)> = Vec::new();
-                    loop {
-                        // Own queue first (front), then steal (back) from
-                        // siblings in ring order.
-                        let mut claimed: Option<usize> = None;
-                        for probe in 0..workers {
-                            let qi = (w + probe) % workers;
-                            let mut q = lock_recover(&queues[qi]);
-                            claimed = if probe == 0 { q.pop_front() } else { q.pop_back() };
-                            if claimed.is_some() {
-                                break;
+                    obs::with_ambient(&ambient, || {
+                        let mut local: Vec<(usize, Vec<Caught<U>>)> = Vec::new();
+                        loop {
+                            // Own queue first (front), then steal (back)
+                            // from siblings in ring order.
+                            let mut claimed: Option<usize> = None;
+                            for probe in 0..workers {
+                                let qi = (w + probe) % workers;
+                                let mut q = lock_recover(&queues[qi]);
+                                claimed =
+                                    if probe == 0 { q.pop_front() } else { q.pop_back() };
+                                if claimed.is_some() {
+                                    break;
+                                }
                             }
+                            let Some(ci) = claimed else { break };
+                            let (start, end) = chunks[ci];
+                            local.push((start, (start..end).map(guarded).collect()));
                         }
-                        let Some(ci) = claimed else { break };
-                        let (start, end) = chunks[ci];
-                        local.push((start, (start..end).map(guarded).collect()));
-                    }
-                    if !local.is_empty() {
-                        lock_recover(results_ref).extend(local);
-                    }
+                        if !local.is_empty() {
+                            lock_recover(results_ref).extend(local);
+                        }
+                    });
                 });
             }
         });
@@ -401,6 +412,29 @@ mod tests {
             let got = Pool::with_threads(threads).par_map(&items, |&x| x * x + 1);
             assert_eq!(got, expect, "threads={threads}");
         }
+    }
+
+    #[test]
+    fn par_map_propagates_ambient_spans_to_workers() {
+        let items: Vec<u64> = (0..64).collect();
+        let (sum, snap) = obs::with_local_registry(|| {
+            let _outer = obs::span("outer");
+            let mapped = Pool::with_threads(4).par_map(&items, |&x| {
+                let _task = obs::span("task");
+                obs::counter_add("tasks", 1);
+                x
+            });
+            mapped.iter().sum::<u64>()
+        });
+        assert_eq!(sum, items.iter().sum::<u64>());
+        assert_eq!(snap.counters.get("tasks"), Some(&(items.len() as u64)));
+        let task = snap.spans.get("outer/task").copied().unwrap_or_default();
+        assert_eq!(
+            task.calls,
+            items.len() as u64,
+            "worker spans must nest under the submitting span: {:?}",
+            snap.spans.keys().collect::<Vec<_>>()
+        );
     }
 
     #[test]

@@ -190,4 +190,65 @@ mod tests {
     fn zero_k_panics() {
         precision_at_k(&[true], 1, 0);
     }
+
+    #[test]
+    fn empty_ranking_finds_nothing() {
+        // An empty prediction list with relevant items outstanding scores 0
+        // under every metric (and does not panic on the empty slice).
+        let empty: [bool; 0] = [];
+        assert_eq!(precision_at_k(&empty, 2, 1), 0.0);
+        assert_eq!(recall_at_k(&empty, 2, 1), 0.0);
+        assert_eq!(ndcg_at_k(&empty, 2, 3), 0.0);
+        // With nothing relevant either, the vacuous-success convention wins.
+        assert_eq!(precision_at_k(&empty, 0, 1), 1.0);
+        assert_eq!(recall_at_k(&empty, 0, 1), 1.0);
+        assert_eq!(ndcg_at_k(&empty, 0, 1), 1.0);
+    }
+
+    #[test]
+    fn k_beyond_ranking_length_clamps_to_available_items() {
+        // k=10 over 3 predictions inspects all 3 and no phantom slots.
+        let ranked = [false, true, false];
+        assert_eq!(recall_at_k(&ranked, 1, 10), 1.0);
+        assert_eq!(precision_at_k(&ranked, 1, 10), 1.0); // fully retrieved → no tail penalty
+        assert_eq!(ndcg_at_k(&ranked, 1, 10), 1.0 / 3f64.log2());
+        // With more ground truth than predictions, recall caps at the
+        // retrievable fraction and precision divides by k, not the length.
+        assert_eq!(recall_at_k(&ranked, 4, 10), 0.25);
+        assert_eq!(precision_at_k(&ranked, 4, 10), 0.1);
+    }
+
+    #[test]
+    fn all_irrelevant_with_outstanding_truth_scores_zero() {
+        let ranked = [false, false, false, false];
+        for k in 1..=6 {
+            assert_eq!(precision_at_k(&ranked, 3, k), 0.0);
+            assert_eq!(recall_at_k(&ranked, 3, k), 0.0);
+            assert_eq!(ndcg_at_k(&ranked, 3, k), 0.0);
+        }
+    }
+
+    #[test]
+    fn ndcg_improves_monotonically_as_a_hit_moves_up() {
+        // One relevant item sliding from the last slot to the first: every
+        // single-position promotion must strictly increase NDCG@len.
+        let len = 6;
+        let ndcg_with_hit_at = |pos: usize| {
+            let ranked: Vec<bool> = (0..len).map(|i| i == pos).collect();
+            ndcg_at_k(&ranked, 1, len)
+        };
+        for pos in (1..len).rev() {
+            assert!(
+                ndcg_with_hit_at(pos - 1) > ndcg_with_hit_at(pos),
+                "promoting the hit from rank {} to {} did not raise ndcg",
+                pos + 1,
+                pos
+            );
+        }
+        // Swapping a relevant item above an irrelevant one never hurts,
+        // including with multiple relevant items in the list.
+        let worse = [false, true, true, false];
+        let better = [true, false, true, false];
+        assert!(ndcg_at_k(&better, 2, 4) > ndcg_at_k(&worse, 2, 4));
+    }
 }

@@ -17,7 +17,9 @@
 //! * [`graph`] — Stoer–Wagner, AMPT and CMUT solvers (§4.3–4.4);
 //! * [`ranking`] — precision@k / NDCG@k / Rand-index metrics (§6.4);
 //! * [`baselines`] — every comparator of the evaluation (§6);
-//! * [`core`] — the Auto-Suggest predictors and end-to-end pipeline.
+//! * [`core`] — the Auto-Suggest predictors and end-to-end pipeline;
+//! * [`obs`] — deterministic observability: spans, counters, gauges and
+//!   histograms whose non-timing view is bit-identical at any thread count.
 //!
 //! ```no_run
 //! use auto_suggest::core::{AutoSuggest, AutoSuggestConfig};
@@ -41,4 +43,5 @@ pub use autosuggest_features as features;
 pub use autosuggest_gbdt as gbdt;
 pub use autosuggest_graph as graph;
 pub use autosuggest_nn as nn;
+pub use autosuggest_obs as obs;
 pub use autosuggest_ranking as ranking;

@@ -1,0 +1,308 @@
+//! Deeper property tests for the DataFrame operators: cross-checks against
+//! naive reference implementations, schema preservation, and null handling.
+//!
+//! Complements `tests/properties.rs` (which pins coarse invariants like row
+//! count bounds) with exact models: the inner join is compared cell-free
+//! against a nested-loop count, left/outer joins against match bookkeeping,
+//! and pivot→melt against a per-cell groupby of the original table.
+//!
+//! Cases come from a seeded `StdRng` (64 per property), so runs are
+//! deterministic and need no external property-testing framework.
+
+use auto_suggest::dataframe::ops::{self, Agg, DropHow, JoinType};
+use auto_suggest::dataframe::{DataFrame, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::{HashMap, HashSet};
+
+const CASES: u64 = 64;
+
+/// A keyed table whose key column `k` contains ~15% nulls and whose value
+/// column is always present — so null padding introduced by a join is
+/// attributable to the join alone.
+fn keyed_table(rng: &mut StdRng, value_col: &str) -> DataFrame {
+    let rows = rng.random_range(1..30);
+    DataFrame::from_rows(
+        &["k", value_col],
+        (0..rows)
+            .map(|_| {
+                let key = if rng.random_bool(0.15) {
+                    Value::Null
+                } else {
+                    Value::Int(rng.random_range(0i64..6))
+                };
+                vec![key, Value::Int(rng.random_range(0i64..1000))]
+            })
+            .collect(),
+    )
+    .expect("valid frame")
+}
+
+/// A table with nullable cells in every column, for the missing-data
+/// properties.
+fn holey_table(rng: &mut StdRng) -> DataFrame {
+    let rows = rng.random_range(1..30);
+    fn maybe(rng: &mut StdRng, v: Value) -> Value {
+        if rng.random_bool(0.25) {
+            Value::Null
+        } else {
+            v
+        }
+    }
+    DataFrame::from_rows(
+        &["a", "b", "c"],
+        (0..rows)
+            .map(|_| {
+                let a = Value::Int(rng.random_range(0i64..10));
+                let b = Value::Str(format!("s{}", rng.random_range(0u8..4)));
+                let c = Value::Float(rng.random_range(0i64..100) as f64 / 4.0);
+                vec![maybe(rng, a), maybe(rng, b), maybe(rng, c)]
+            })
+            .collect(),
+    )
+    .expect("valid frame")
+}
+
+/// Naive nested-loop match counts: (matches, unmatched_left, unmatched_right).
+/// Null keys never match, exactly as SQL/Pandas define it.
+fn naive_match_counts(a: &DataFrame, b: &DataFrame) -> (usize, usize, usize) {
+    let ka = a.column("k").expect("key");
+    let kb = b.column("k").expect("key");
+    let mut matches = 0usize;
+    let mut left_matched = vec![false; a.num_rows()];
+    let mut right_matched = vec![false; b.num_rows()];
+    for (i, lm) in left_matched.iter_mut().enumerate() {
+        for (j, rm) in right_matched.iter_mut().enumerate() {
+            let (va, vb) = (ka.get(i), kb.get(j));
+            if !va.is_null() && !vb.is_null() && va == vb {
+                matches += 1;
+                *lm = true;
+                *rm = true;
+            }
+        }
+    }
+    let ul = left_matched.iter().filter(|&&m| !m).count();
+    let ur = right_matched.iter().filter(|&&m| !m).count();
+    (matches, ul, ur)
+}
+
+#[test]
+fn join_row_counts_match_naive_nested_loop() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0xdf_0001 + case);
+        let a = keyed_table(&mut rng, "va");
+        let b = keyed_table(&mut rng, "vb");
+        let (matches, ul, ur) = naive_match_counts(&a, &b);
+        let rows = |how| {
+            ops::merge(&a, &b, &["k"], &["k"], how)
+                .expect("merge succeeds")
+                .num_rows()
+        };
+        assert_eq!(rows(JoinType::Inner), matches);
+        assert_eq!(rows(JoinType::Left), matches + ul);
+        assert_eq!(rows(JoinType::Right), matches + ur);
+        assert_eq!(rows(JoinType::Outer), matches + ul + ur);
+    }
+}
+
+#[test]
+fn left_join_null_padding_counts_unmatched_rows() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0xdf_0002 + case);
+        let a = keyed_table(&mut rng, "va");
+        let b = keyed_table(&mut rng, "vb");
+        let (_, ul, ur) = naive_match_counts(&a, &b);
+        // The value columns are non-null by construction, so every null in
+        // the opposite side's value column is join padding.
+        let left = ops::merge(&a, &b, &["k"], &["k"], JoinType::Left).unwrap();
+        assert_eq!(left.column("vb").unwrap().null_count(), ul);
+        assert_eq!(left.column("va").unwrap().null_count(), 0);
+        let outer = ops::merge(&a, &b, &["k"], &["k"], JoinType::Outer).unwrap();
+        assert_eq!(outer.column("vb").unwrap().null_count(), ul);
+        assert_eq!(outer.column("va").unwrap().null_count(), ur);
+    }
+}
+
+/// The `dim`/`year`/`value` shape that pivot tests use: string dim, int
+/// year, float measure — all non-null so cell sums are exact.
+fn measure_table(rng: &mut StdRng) -> DataFrame {
+    let rows = rng.random_range(1..40);
+    DataFrame::from_rows(
+        &["dim", "year", "value"],
+        (0..rows)
+            .map(|_| {
+                vec![
+                    Value::Str(format!("d{}", rng.random_range(0u8..5))),
+                    Value::Int(rng.random_range(2000i64..2004)),
+                    // Quarter-integers sum exactly in f64, so the per-cell
+                    // comparison below can demand equality, not tolerance.
+                    Value::Float(rng.random_range(-1000i64..1000) as f64 / 4.0),
+                ]
+            })
+            .collect(),
+    )
+    .expect("valid frame")
+}
+
+#[test]
+fn pivot_then_melt_recovers_every_aggregated_cell() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0xdf_0003 + case);
+        let df = measure_table(&mut rng);
+        // Reference: group the original by (dim, year) with a sum.
+        let mut expect: HashMap<(String, i64), f64> = HashMap::new();
+        for row in df.rows() {
+            let (Value::Str(d), Value::Int(y)) = (&row[0], &row[1]) else {
+                panic!("generator emits str/int keys")
+            };
+            *expect.entry((d.clone(), *y)).or_default() += row[2].as_f64().expect("float measure");
+        }
+
+        let pivoted = ops::pivot_table(&df, &["dim"], &["year"], "value", Agg::Sum).unwrap();
+        let value_vars: Vec<String> = pivoted
+            .column_names()
+            .into_iter()
+            .filter(|n| *n != "dim")
+            .map(String::from)
+            .collect();
+        let vv: Vec<&str> = value_vars.iter().map(String::as_str).collect();
+        let long = ops::melt(&pivoted, &["dim"], &vv, "year", "value").unwrap();
+
+        // Every non-null melted cell must equal the reference aggregate,
+        // and the non-null cell count must equal the number of distinct
+        // (dim, year) pairs — NULL padding only where no input row exists.
+        let mut seen = 0usize;
+        for row in long.rows() {
+            if row[2].is_null() {
+                continue;
+            }
+            seen += 1;
+            let Value::Str(d) = &row[0] else { panic!("dim is str") };
+            let y = row[1].as_f64().expect("year label re-parses as numeric") as i64;
+            let got = row[2].as_f64().expect("value is numeric");
+            let want = expect
+                .get(&(d.clone(), y))
+                .unwrap_or_else(|| panic!("cell ({d}, {y}) not in input"));
+            assert_eq!(got, *want, "cell ({d}, {y}) changed under pivot+melt");
+        }
+        assert_eq!(seen, expect.len());
+    }
+}
+
+#[test]
+fn groupby_preserves_key_schema_and_values() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0xdf_0004 + case);
+        let df = measure_table(&mut rng);
+        let out = ops::groupby(&df, &["dim", "year"], &[("value", Agg::Sum)]).unwrap();
+        // Schema: key columns first (names and dtypes preserved), then the
+        // aggregate column under the source name.
+        assert_eq!(out.column_names(), vec!["dim", "year", "value"]);
+        assert_eq!(
+            out.column("dim").unwrap().dtype(),
+            df.column("dim").unwrap().dtype()
+        );
+        assert_eq!(
+            out.column("year").unwrap().dtype(),
+            df.column("year").unwrap().dtype()
+        );
+        // The group tuples are exactly the distinct input key tuples.
+        let input_keys: HashSet<(Value, Value)> = df
+            .rows()
+            .map(|r| (r[0].clone(), r[1].clone()))
+            .collect();
+        let output_keys: HashSet<(Value, Value)> = out
+            .rows()
+            .map(|r| (r[0].clone(), r[1].clone()))
+            .collect();
+        assert_eq!(output_keys, input_keys);
+        assert_eq!(out.num_rows(), input_keys.len());
+    }
+}
+
+#[test]
+fn fillna_eliminates_exactly_the_targeted_nulls() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0xdf_0005 + case);
+        let df = holey_table(&mut rng);
+        // fillna_all leaves no nulls anywhere and touches nothing else.
+        let filled = ops::fillna_all(&df, &Value::Int(-1)).unwrap();
+        assert_eq!(filled.num_rows(), df.num_rows());
+        for col in filled.columns() {
+            assert_eq!(col.null_count(), 0, "column {} kept nulls", col.name());
+        }
+        // Column-targeted fillna leaves other columns untouched.
+        let partial = ops::fillna(&df, &["a"], &Value::Int(-1)).unwrap();
+        assert_eq!(partial.column("a").unwrap().null_count(), 0);
+        assert_eq!(
+            partial.column("b").unwrap().null_count(),
+            df.column("b").unwrap().null_count()
+        );
+        assert_eq!(
+            partial.column("c").unwrap().null_count(),
+            df.column("c").unwrap().null_count()
+        );
+        // Non-null cells are never rewritten.
+        for (fc, oc) in partial.columns().iter().zip(df.columns()) {
+            for (fv, ov) in fc.values().iter().zip(oc.values()) {
+                if !ov.is_null() {
+                    assert_eq!(fv, ov);
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn dropna_matches_per_row_null_census() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0xdf_0006 + case);
+        let df = holey_table(&mut rng);
+        let nulls_in_row = |i: usize| {
+            df.columns()
+                .iter()
+                .filter(|c| c.get(i).is_null())
+                .count()
+        };
+        let any = ops::dropna(&df, DropHow::Any, None).unwrap();
+        let all = ops::dropna(&df, DropHow::All, None).unwrap();
+        let expect_any = (0..df.num_rows()).filter(|&i| nulls_in_row(i) == 0).count();
+        let expect_all = (0..df.num_rows())
+            .filter(|&i| nulls_in_row(i) < df.num_columns())
+            .count();
+        assert_eq!(any.num_rows(), expect_any);
+        assert_eq!(all.num_rows(), expect_all);
+        // Schema is untouched either way, and surviving rows are clean.
+        assert_eq!(any.column_names(), df.column_names());
+        assert_eq!(all.column_names(), df.column_names());
+        for col in any.columns() {
+            assert_eq!(col.null_count(), 0);
+        }
+        // Subset-restricted dropna ignores nulls outside the subset.
+        let by_a = ops::dropna(&df, DropHow::Any, Some(&["a"])).unwrap();
+        assert_eq!(by_a.num_rows(), df.num_rows() - df.column("a").unwrap().null_count());
+    }
+}
+
+#[test]
+fn concat_aligns_union_schema_with_null_padding() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0xdf_0007 + case);
+        let a = keyed_table(&mut rng, "only_a");
+        let b = keyed_table(&mut rng, "only_b");
+        let out = ops::concat(&[&a, &b]).unwrap();
+        // Row count adds; schema is the union in first-appearance order.
+        assert_eq!(out.num_rows(), a.num_rows() + b.num_rows());
+        assert_eq!(out.column_names(), vec!["k", "only_a", "only_b"]);
+        // Columns absent from one input are padded with exactly that
+        // input's row count of nulls (the value columns are non-null by
+        // construction).
+        assert_eq!(out.column("only_a").unwrap().null_count(), b.num_rows());
+        assert_eq!(out.column("only_b").unwrap().null_count(), a.num_rows());
+        // The shared key column survives in input order: a's rows first.
+        let ka = a.column("k").unwrap();
+        for i in 0..a.num_rows() {
+            assert_eq!(out.column("k").unwrap().get(i), ka.get(i));
+        }
+    }
+}

@@ -1,0 +1,85 @@
+//! The observability layer's core contract: the deterministic section of a
+//! metrics snapshot — counters, non-timing gauges, and the span tree with
+//! call counts — is bit-identical at any thread count. Only the timing
+//! section (histograms over wall-clock, span nanos) may vary.
+//!
+//! This drives the full fast training pipeline under an isolated local
+//! registry at 1 thread and at 4, and compares the rendered deterministic
+//! JSON byte for byte. Thread width is switched in-process via
+//! `set_thread_override`, so the sweep takes the same process-global lock
+//! convention as `tests/determinism_across_threads.rs`.
+
+use auto_suggest::core::{AutoSuggest, AutoSuggestConfig};
+use auto_suggest::obs;
+use auto_suggest::parallel::set_thread_override;
+use std::sync::Mutex;
+
+/// The thread override is process-global, so tests that sweep it must not
+/// overlap (cargo runs `#[test]`s concurrently by default).
+static OVERRIDE_LOCK: Mutex<()> = Mutex::new(());
+
+/// Train the fast pipeline under a fresh local registry and return the
+/// rendered deterministic and timing sections.
+fn trace_sections(threads: usize) -> (String, String) {
+    set_thread_override(Some(threads));
+    let (_, snapshot) = obs::with_local_registry(|| {
+        AutoSuggest::train(AutoSuggestConfig::fast(7))
+    });
+    set_thread_override(None);
+    (
+        snapshot.deterministic_value().to_string(),
+        snapshot.timing_value().to_string(),
+    )
+}
+
+#[test]
+fn deterministic_trace_section_is_bit_identical_across_thread_counts() {
+    let _guard = OVERRIDE_LOCK.lock().unwrap();
+    let (det1, _) = trace_sections(1);
+    let (det4, _) = trace_sections(4);
+    assert_eq!(
+        det1, det4,
+        "deterministic metrics diverged between 1 and 4 threads"
+    );
+}
+
+#[test]
+fn trace_covers_the_pipeline_and_separates_timing() {
+    let _guard = OVERRIDE_LOCK.lock().unwrap();
+    let (det, timing) = trace_sections(2);
+    // The span tree must cover the training stages...
+    for span in ["train", "generate_corpus", "replay", "filter_and_split", "train_predictors"] {
+        assert!(det.contains(&format!("\"{span}\"")), "span {span} missing from {det}");
+    }
+    // ...and the headline counters must be present and nonzero.
+    for counter in ["corpus.notebooks_generated", "replay.cells_executed", "gbdt.fits"] {
+        assert!(det.contains(&format!("\"{counter}\"")), "counter {counter} missing");
+    }
+    // Wall-clock measurements live only in the timing section: per-stage
+    // histograms appear there and never in the deterministic view.
+    for histo in ["pipeline.", "replay.notebook_seconds", "gbdt.split_scan_seconds"] {
+        assert!(timing.contains(histo), "timing histogram {histo} missing");
+        assert!(!det.contains(histo), "{histo} leaked into the deterministic view");
+    }
+    // The registry was local: the process-global snapshot is untouched by
+    // the training run above.
+    assert!(!obs::snapshot().counters.contains_key("gbdt.fits"));
+}
+
+#[test]
+fn local_registries_isolate_concurrent_measurements() {
+    // Two nested local registries must not bleed counters into each other
+    // or into the global registry.
+    let (_, outer) = obs::with_local_registry(|| {
+        obs::counter_add("outer.only", 1);
+        let (_, inner) = obs::with_local_registry(|| {
+            obs::counter_add("inner.only", 1);
+        });
+        assert!(inner.counters.contains_key("inner.only"));
+        assert!(!inner.counters.contains_key("outer.only"));
+    });
+    assert!(outer.counters.contains_key("outer.only"));
+    assert!(!outer.counters.contains_key("inner.only"));
+    assert!(!obs::snapshot().counters.contains_key("outer.only"));
+    assert!(!obs::snapshot().counters.contains_key("inner.only"));
+}
