@@ -1,9 +1,10 @@
 //! `repro` — regenerate every table of the Auto-Suggest evaluation.
 //!
 //! ```text
-//! repro [--fast] [--seed N] [--timing] [--trace PATH] all | table2 |
-//!       table3 | table4 | table5 | table6 | table7 | table8 | table9 |
-//!       table10 | table11 | ablation-ampt | ablation-cmut | ablation-join
+//! repro [--fast] [--seed N] [--timing] [--trace PATH] [--cache-stats]
+//!       all | table2 | table3 | table4 | table5 | table6 | table7 |
+//!       table8 | table9 | table10 | table11 | ablation-ampt |
+//!       ablation-cmut | ablation-join
 //! ```
 //!
 //! `--fast` uses the small test-scale corpus (seconds instead of minutes);
@@ -21,6 +22,12 @@
 //! counter and gauge, and timing histograms. The `"deterministic"`
 //! section is byte-identical at any `AUTOSUGGEST_THREADS`; only the
 //! `"timing"` section varies run to run.
+//!
+//! `--cache-stats` prints the content-addressed column cache's cumulative
+//! hit/miss/eviction counters after the run (`AUTOSUGGEST_CACHE=0`
+//! disables the cache). With `--timing`, BENCH_repro.json additionally
+//! gains a `"cache"` section with an off/cold/warm featurisation sweep
+//! over the held-out tables.
 //!
 //! Tables are evaluated concurrently on the shared work-stealing pool —
 //! each evaluator is a pure function of the trained context, so results
@@ -52,10 +59,35 @@ const TABLES: &[(&str, TableFn)] = &[
     ("ablation-join", tables::ablations::join_knockout),
 ];
 
+/// The featurisation workload for the cache-on/off sweep: enumerate join
+/// candidates for every held-out join case and score every held-out groupby
+/// table. Returns a work count so the three sweep phases can assert they
+/// did identical work.
+fn featurise_workload(ctx: &ReproContext) -> usize {
+    let params = &ctx.system.config.candidates;
+    let mut work = 0usize;
+    for inv in &ctx.system.test.join {
+        if inv.inputs.len() >= 2 {
+            work +=
+                autosuggest_features::enumerate_join_candidates(&inv.inputs[0], &inv.inputs[1], params)
+                    .len();
+        }
+    }
+    if let Some(gb) = &ctx.system.models.groupby {
+        for inv in &ctx.system.test.groupby {
+            if !inv.inputs.is_empty() {
+                work += gb.scores(&inv.inputs[0]).len();
+            }
+        }
+    }
+    work
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut fast = false;
     let mut timing = false;
+    let mut cache_stats = false;
     let mut seed = 42u64;
     let mut trace_path: Option<String> = None;
     let mut targets: Vec<String> = Vec::new();
@@ -64,6 +96,7 @@ fn main() {
         match arg.as_str() {
             "--fast" => fast = true,
             "--timing" => timing = true,
+            "--cache-stats" => cache_stats = true,
             "--seed" => {
                 seed = it
                     .next()
@@ -147,6 +180,23 @@ fn main() {
     drop(repro_span);
     let snapshot = obs::snapshot();
 
+    // Cache counters accumulated by the run so far (training + table
+    // evaluation). Snapshotted before the timing sweep below so the sweep's
+    // own lookups don't pollute the run's numbers.
+    let cache = autosuggest_cache::ColumnCache::global();
+    let run_stats = cache.stats();
+    if cache_stats {
+        eprintln!(
+            "[repro] cache: enabled={} {} hits / {} misses / {} evictions (hit rate {:.1}%), {} interned columns",
+            cache.enabled(),
+            run_stats.hits,
+            run_stats.misses,
+            run_stats.evictions,
+            run_stats.hit_rate() * 100.0,
+            cache.len(),
+        );
+    }
+
     if let Some(path) = &trace_path {
         let meta = json!({"threads": threads, "fast": fast, "seed": seed});
         match obs::TraceSink::write(std::path::Path::new(path), &snapshot, meta) {
@@ -198,6 +248,51 @@ fn main() {
             .get("histograms")
             .cloned()
             .unwrap_or(Value::Object(serde_json::Map::new()));
+        // Cache-on/off timing comparison: the same featurisation workload
+        // (join candidate enumeration + groupby scoring over the held-out
+        // tables) is run three times — cache disabled, enabled-but-cold,
+        // and enabled-and-warm. Runs after the obs snapshot so the
+        // deterministic trace section is unaffected.
+        let was_enabled = cache.enabled();
+        cache.set_enabled(false);
+        let t = Instant::now();
+        let work_off = featurise_workload(&ctx);
+        let off_seconds = t.elapsed().as_secs_f64();
+        cache.set_enabled(true);
+        cache.clear();
+        let t = Instant::now();
+        let work_cold = featurise_workload(&ctx);
+        let cold_seconds = t.elapsed().as_secs_f64();
+        let cold_stats = cache.stats();
+        let t = Instant::now();
+        let work_warm = featurise_workload(&ctx);
+        let warm_seconds = t.elapsed().as_secs_f64();
+        let warm_stats = cache.stats().since(&cold_stats);
+        cache.set_enabled(was_enabled);
+        assert_eq!(work_off, work_cold);
+        assert_eq!(work_off, work_warm);
+        let cache_report = json!({
+            "enabled_during_run": was_enabled,
+            "run": {
+                "hits": run_stats.hits,
+                "misses": run_stats.misses,
+                "evictions": run_stats.evictions,
+                "hit_rate": run_stats.hit_rate(),
+            },
+            "sweep": {
+                "workload_units": work_off as u64,
+                "off_seconds": off_seconds,
+                "cold_seconds": cold_seconds,
+                "warm_seconds": warm_seconds,
+                "warm_speedup_vs_off": if warm_seconds > 0.0 { off_seconds / warm_seconds } else { 0.0 },
+                "warm_hit_rate": warm_stats.hit_rate(),
+            },
+        });
+        eprintln!(
+            "[repro] cache sweep: off {off_seconds:.3}s, cold {cold_seconds:.3}s, warm {warm_seconds:.3}s (warm hit rate {:.1}%)",
+            warm_stats.hit_rate() * 100.0
+        );
+
         let report = json!({
             "threads": threads,
             "fast": fast,
@@ -208,6 +303,7 @@ fn main() {
             "tables": Value::Array(table_times),
             "histograms": histograms,
             "robustness": robustness,
+            "cache": cache_report,
         });
         let path = "BENCH_repro.json";
         match std::fs::write(path, report.to_string()) {

@@ -1,0 +1,187 @@
+//! Content-addressed column and table fingerprints.
+//!
+//! A [`ColumnFingerprint`] is a 128-bit digest of a column's *multiset of
+//! cell values* — two columns fingerprint equal iff they hold the same
+//! values with the same multiplicities, regardless of row order and of the
+//! column's name. That is exactly the equivalence class under which every
+//! cached [`ColumnArtifacts`] statistic (sketch, distinct count, null
+//! fraction, min/max, dtype histogram, peak frequency) is invariant, so the
+//! fingerprint doubles as the cache key and the invalidation rule: editing
+//! any cell changes the key, so stale entries are unreachable by
+//! construction and never need explicit invalidation.
+//!
+//! Row-order insensitivity is achieved by folding per-value digests with
+//! commutative reductions (wrapping sums over two independently mixed
+//! lanes) rather than a sequential hasher. Order-*sensitive* statistics
+//! (e.g. `Column::is_sorted`) are deliberately excluded from the cached
+//! artifacts for this reason.
+//!
+//! [`ColumnArtifacts`]: crate::ColumnArtifacts
+
+use autosuggest_dataframe::{Column, DataFrame};
+use std::fmt;
+
+/// 128-bit content fingerprint of a column's multiset of values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ColumnFingerprint(pub u128);
+
+impl fmt::Display for ColumnFingerprint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:032x}", self.0)
+    }
+}
+
+/// splitmix64 finaliser: a strong 64-bit mixer with distinct odd constants
+/// per lane so the two commutative sums are statistically independent.
+fn mix(mut x: u64, c1: u64, c2: u64) -> u64 {
+    x ^= x >> 30;
+    x = x.wrapping_mul(c1);
+    x ^= x >> 27;
+    x = x.wrapping_mul(c2);
+    x ^ (x >> 31)
+}
+
+const LANE_A: (u64, u64) = (0xbf58_476d_1ce4_e5b9, 0x94d0_49bb_1331_11eb);
+const LANE_B: (u64, u64) = (0xff51_afd7_ed55_8ccd, 0xc4ce_b9fe_1a85_ec53);
+
+/// Fingerprint a column's values. Nulls participate (through
+/// `Value::fingerprint`, which gives all nulls one canonical digest), so an
+/// all-null column and an empty column fingerprint differently.
+pub fn column_fingerprint(col: &Column) -> ColumnFingerprint {
+    values_fingerprint(col.values().iter().map(|v| v.fingerprint()), col.len())
+}
+
+/// Fold pre-hashed value digests into a 128-bit multiset fingerprint.
+fn values_fingerprint<I: IntoIterator<Item = u64>>(hashes: I, len: usize) -> ColumnFingerprint {
+    // Commutative fold: each lane sums an independently mixed view of every
+    // value digest, so permuting rows cannot change the result, while any
+    // single-cell edit shifts both lanes. Seeding with the length separates
+    // e.g. `[x]` from `[x, x]` even under the (impossible for mixed sums)
+    // event of a lane collision on values alone.
+    let mut lane_a = mix(len as u64 ^ 0x9e37_79b9_7f4a_7c15, LANE_A.0, LANE_A.1);
+    let mut lane_b = mix(len as u64 ^ 0x2545_f491_4f6c_dd1d, LANE_B.0, LANE_B.1);
+    for h in hashes {
+        lane_a = lane_a.wrapping_add(mix(h, LANE_A.0, LANE_A.1));
+        lane_b = lane_b.wrapping_add(mix(h, LANE_B.0, LANE_B.1));
+    }
+    ColumnFingerprint(((lane_a as u128) << 64) | lane_b as u128)
+}
+
+/// Fingerprint a whole table: column fingerprints combined *in schema order*
+/// together with column names. Used by `suggest_batch` to deduplicate
+/// identical tables across requests, where a renamed or reordered schema is
+/// a different table even if the cell multisets agree.
+pub fn table_fingerprint(df: &DataFrame) -> ColumnFingerprint {
+    let mut lane_a: u64 = mix(df.num_columns() as u64, LANE_A.0, LANE_A.1);
+    let mut lane_b: u64 = mix(df.num_rows() as u64, LANE_B.0, LANE_B.1);
+    for (idx, col) in df.columns().iter().enumerate() {
+        let cf = column_fingerprint(col);
+        let name_h = {
+            use std::hash::{Hash, Hasher};
+            let mut h = std::collections::hash_map::DefaultHasher::new();
+            col.name().hash(&mut h);
+            h.finish()
+        };
+        // Sequential (order-sensitive) combine across columns: rotate the
+        // accumulator by the position so swapping two columns changes the
+        // digest.
+        let pos = (idx as u32).wrapping_mul(7) % 63 + 1;
+        lane_a = lane_a
+            .rotate_left(pos)
+            .wrapping_add(mix((cf.0 >> 64) as u64 ^ name_h, LANE_A.0, LANE_A.1));
+        lane_b = lane_b
+            .rotate_left(pos)
+            .wrapping_add(mix(cf.0 as u64 ^ name_h, LANE_B.0, LANE_B.1));
+    }
+    ColumnFingerprint(((lane_a as u128) << 64) | lane_b as u128)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autosuggest_dataframe::Value;
+
+    fn col(vals: Vec<Value>) -> Column {
+        Column::new("c", vals)
+    }
+
+    #[test]
+    fn stable_across_row_order() {
+        let a = col(vec![Value::Int(1), Value::Str("x".into()), Value::Null, Value::Int(1)]);
+        let b = col(vec![Value::Null, Value::Int(1), Value::Int(1), Value::Str("x".into())]);
+        assert_eq!(column_fingerprint(&a), column_fingerprint(&b));
+    }
+
+    #[test]
+    fn sensitive_to_value_edits() {
+        let base = col(vec![Value::Int(1), Value::Int(2), Value::Int(3)]);
+        let edited = col(vec![Value::Int(1), Value::Int(2), Value::Int(4)]);
+        let nulled = col(vec![Value::Int(1), Value::Int(2), Value::Null]);
+        let shorter = col(vec![Value::Int(1), Value::Int(2)]);
+        let dup = col(vec![Value::Int(1), Value::Int(2), Value::Int(2)]);
+        let f = column_fingerprint(&base);
+        assert_ne!(f, column_fingerprint(&edited));
+        assert_ne!(f, column_fingerprint(&nulled));
+        assert_ne!(f, column_fingerprint(&shorter));
+        assert_ne!(f, column_fingerprint(&dup));
+    }
+
+    #[test]
+    fn multiplicity_matters() {
+        // A multiset fingerprint must distinguish [x] from [x, x]; a plain
+        // XOR fold would not.
+        let once = col(vec![Value::Int(7)]);
+        let twice = col(vec![Value::Int(7), Value::Int(7)]);
+        let thrice = col(vec![Value::Int(7), Value::Int(7), Value::Int(7)]);
+        let f1 = column_fingerprint(&once);
+        let f2 = column_fingerprint(&twice);
+        let f3 = column_fingerprint(&thrice);
+        assert_ne!(f1, f2);
+        assert_ne!(f2, f3);
+        assert_ne!(f1, f3);
+    }
+
+    #[test]
+    fn name_is_not_part_of_the_column_key() {
+        let a = Column::new("alpha", vec![Value::Int(1), Value::Int(2)]);
+        let b = Column::new("beta", vec![Value::Int(1), Value::Int(2)]);
+        assert_eq!(column_fingerprint(&a), column_fingerprint(&b));
+    }
+
+    #[test]
+    fn empty_vs_all_null_differ() {
+        let empty = Column::empty("e");
+        let nulls = col(vec![Value::Null, Value::Null]);
+        assert_ne!(column_fingerprint(&empty), column_fingerprint(&nulls));
+    }
+
+    #[test]
+    fn table_fingerprint_is_schema_sensitive() {
+        let t1 = DataFrame::from_columns(vec![
+            ("a", vec![Value::Int(1), Value::Int(2)]),
+            ("b", vec![Value::Str("x".into()), Value::Str("y".into())]),
+        ])
+        .unwrap();
+        // Same content, same names → same fingerprint.
+        let t2 = DataFrame::from_columns(vec![
+            ("a", vec![Value::Int(1), Value::Int(2)]),
+            ("b", vec![Value::Str("x".into()), Value::Str("y".into())]),
+        ])
+        .unwrap();
+        assert_eq!(table_fingerprint(&t1), table_fingerprint(&t2));
+        // Swapped column order → different table.
+        let swapped = DataFrame::from_columns(vec![
+            ("b", vec![Value::Str("x".into()), Value::Str("y".into())]),
+            ("a", vec![Value::Int(1), Value::Int(2)]),
+        ])
+        .unwrap();
+        assert_ne!(table_fingerprint(&t1), table_fingerprint(&swapped));
+        // Renamed column → different table.
+        let renamed = DataFrame::from_columns(vec![
+            ("a2", vec![Value::Int(1), Value::Int(2)]),
+            ("b", vec![Value::Str("x".into()), Value::Str("y".into())]),
+        ])
+        .unwrap();
+        assert_ne!(table_fingerprint(&t1), table_fingerprint(&renamed));
+    }
+}

@@ -32,6 +32,8 @@ pub use groupby::{GroupByAggPredictor, GroupBySuggestion};
 pub use join::{JoinColumnPredictor, JoinSuggestion};
 pub use join_type::JoinTypePredictor;
 pub use nextop::{NextOpPredictor, NextOpConfig};
-pub use pipeline::{AutoSuggest, AutoSuggestConfig, TrainedModels};
+pub use pipeline::{
+    AutoSuggest, AutoSuggestConfig, SuggestRequest, SuggestResponse, TrainedModels,
+};
 pub use pivot::{PivotPredictor, PivotSuggestion};
 pub use unpivot::{UnpivotPredictor, UnpivotSuggestion};

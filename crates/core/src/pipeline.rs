@@ -1,11 +1,13 @@
 //! The end-to-end Auto-Suggest pipeline: corpus → replay → logs → models.
 
-use crate::groupby::GroupByAggPredictor;
-use crate::join::JoinColumnPredictor;
+use crate::groupby::{GroupByAggPredictor, GroupBySuggestion};
+use crate::join::{JoinColumnPredictor, JoinSuggestion};
 use crate::join_type::JoinTypePredictor;
 use crate::nextop::{single_op_scores, NextOpConfig, NextOpExample, NextOpMode, NextOpPredictor};
-use crate::pivot::{CompatibilityModel, PivotPredictor};
-use crate::unpivot::UnpivotPredictor;
+use crate::pivot::{CompatibilityModel, PivotPredictor, PivotSuggestion};
+use crate::unpivot::{UnpivotPredictor, UnpivotSuggestion};
+use autosuggest_cache::{table_fingerprint, ColumnCache};
+use autosuggest_dataframe::DataFrame;
 use autosuggest_corpus::replay::OpInvocation;
 use autosuggest_corpus::{
     filter_invocations, grouped_split, CorpusConfig, CorpusGenerator, FaultSpec, FilterStats,
@@ -318,6 +320,117 @@ impl AutoSuggest {
             config,
         };
         (system, timings)
+    }
+}
+
+/// One interactive suggestion request against a trained system. Tables are
+/// borrowed so a batch over many requests can reference shared frames
+/// without cloning.
+#[derive(Debug, Clone, Copy)]
+pub enum SuggestRequest<'a> {
+    /// Rank join column candidates between two tables (§4.1).
+    Join {
+        left: &'a DataFrame,
+        right: &'a DataFrame,
+        top_k: usize,
+    },
+    /// Rank every column as GroupBy dimension vs. Aggregation measure
+    /// (§4.2).
+    GroupBy { table: &'a DataFrame },
+    /// Predict index/header among the given dimension columns (§4.3).
+    Pivot { table: &'a DataFrame, dims: &'a [usize] },
+    /// Predict the column set to collapse (§4.4).
+    Unpivot { table: &'a DataFrame },
+}
+
+impl SuggestRequest<'_> {
+    /// The tables this request featurises (one for single-table operators,
+    /// two for Join).
+    fn tables(&self) -> Vec<&DataFrame> {
+        match self {
+            SuggestRequest::Join { left, right, .. } => vec![left, right],
+            SuggestRequest::GroupBy { table }
+            | SuggestRequest::Pivot { table, .. }
+            | SuggestRequest::Unpivot { table } => vec![table],
+        }
+    }
+}
+
+/// The answer to one [`SuggestRequest`], mirroring the per-operator
+/// `suggest` return types.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SuggestResponse {
+    Join(Vec<JoinSuggestion>),
+    GroupBy(Vec<GroupBySuggestion>),
+    Pivot(Option<PivotSuggestion>),
+    Unpivot(Option<UnpivotSuggestion>),
+    /// The model for the requested operator was not trained on this corpus
+    /// (the payload names the missing model).
+    Unavailable(&'static str),
+}
+
+impl AutoSuggest {
+    /// Answer one interactive request with the trained models.
+    pub fn suggest(&self, req: &SuggestRequest<'_>) -> SuggestResponse {
+        match req {
+            SuggestRequest::Join { left, right, top_k } => match &self.models.join {
+                Some(j) => SuggestResponse::Join(j.suggest(left, right, *top_k)),
+                None => SuggestResponse::Unavailable("join"),
+            },
+            SuggestRequest::GroupBy { table } => match &self.models.groupby {
+                Some(g) => SuggestResponse::GroupBy(g.suggest(table)),
+                None => SuggestResponse::Unavailable("groupby"),
+            },
+            SuggestRequest::Pivot { table, dims } => match &self.models.pivot {
+                Some(p) => SuggestResponse::Pivot(p.suggest(table, dims)),
+                None => SuggestResponse::Unavailable("pivot"),
+            },
+            SuggestRequest::Unpivot { table } => match &self.models.unpivot {
+                Some(u) => SuggestResponse::Unpivot(u.suggest(table)),
+                None => SuggestResponse::Unavailable("unpivot"),
+            },
+        }
+    }
+
+    /// Answer a batch of requests, deduplicating tables across requests
+    /// before featurising.
+    ///
+    /// Interactive sessions ask several questions about the same frames
+    /// (e.g. join + groupby on one table, or one table joined against many
+    /// partners). Distinct tables — identified by content fingerprint, so
+    /// clones of one frame collapse — have their column artifacts warmed
+    /// exactly once across the pool; the per-request featurisers then hit
+    /// the cache instead of re-sketching shared columns per request.
+    /// Responses come back in request order and are identical to calling
+    /// [`AutoSuggest::suggest`] sequentially.
+    pub fn suggest_batch(&self, reqs: &[SuggestRequest<'_>]) -> Vec<SuggestResponse> {
+        let _span = obs::span("suggest_batch");
+        obs::counter_add("suggest.batch_requests", reqs.len() as u64);
+
+        // Deduplicate tables by content fingerprint, keeping first-seen
+        // order so the warm-up workload is deterministic.
+        let mut seen = std::collections::HashSet::new();
+        let mut distinct: Vec<&DataFrame> = Vec::new();
+        for req in reqs {
+            for table in req.tables() {
+                if seen.insert(table_fingerprint(table)) {
+                    distinct.push(table);
+                }
+            }
+        }
+        obs::counter_add("suggest.batch_distinct_tables", distinct.len() as u64);
+
+        // Warm every distinct column once (columns of deduplicated tables
+        // are themselves deduplicated by the cache's content addressing).
+        let cols: Vec<&autosuggest_dataframe::Column> =
+            distinct.iter().flat_map(|t| t.columns()).collect();
+        let sketch_k = self.config.candidates.sketch_k;
+        let cache = ColumnCache::global();
+        autosuggest_parallel::par_map(&cols, |c| {
+            cache.get_or_compute(c, sketch_k);
+        });
+
+        autosuggest_parallel::par_map(reqs, |req| self.suggest(req))
     }
 }
 

@@ -1,6 +1,6 @@
 //! Join-candidate enumeration with type and sketch pruning (§4.1, fn. 2).
 
-use crate::sketch::MinHashSketch;
+use autosuggest_cache::{ColumnArtifacts, ColumnCache, MinHashSketch};
 use autosuggest_dataframe::{DataFrame, DType, Value};
 use autosuggest_obs as obs;
 use serde::{Deserialize, Serialize};
@@ -38,11 +38,6 @@ impl Default for CandidateParams {
             max_candidates: 2_000,
         }
     }
-}
-
-/// Hash one cell for sketching (nulls excluded by callers).
-fn value_hash(v: &Value) -> u64 {
-    v.fingerprint()
 }
 
 /// Hash a tuple of cells.
@@ -94,21 +89,30 @@ fn enumerate_inner(
     right: &DataFrame,
     params: &CandidateParams,
 ) -> Vec<JoinCandidate> {
-    let ltypes: Vec<DType> = left.columns().iter().map(|c| c.dtype()).collect();
-    let rtypes: Vec<DType> = right.columns().iter().map(|c| c.dtype()).collect();
-    // Column sketches are independent; build them across the pool (order
-    // preserved, so downstream indices are unaffected).
+    // Per-column sketches and dtypes come from the content-addressed cache:
+    // the same column enumerated against many partners (or re-enumerated
+    // across training and evaluation) is fingerprinted and computed once.
+    // Cached artifacts delegate to the same `Column` methods used before,
+    // and `sketch_at` truncation is exact, so hits are bit-identical to
+    // recomputation. Artifact fetches are independent per column; run them
+    // across the pool (order preserved, so downstream indices are
+    // unaffected).
     let pool = autosuggest_parallel::Pool::global().with_min_items(8);
-    let lsketch: Vec<MinHashSketch> = pool.par_map(left.columns(), |c| {
-        MinHashSketch::from_hashes(c.non_null().map(value_hash), params.sketch_k)
-    });
-    let rsketch: Vec<MinHashSketch> = pool.par_map(right.columns(), |c| {
-        MinHashSketch::from_hashes(c.non_null().map(value_hash), params.sketch_k)
-    });
+    let cache = ColumnCache::global();
+    let lart: Vec<std::sync::Arc<ColumnArtifacts>> =
+        pool.par_map(left.columns(), |c| cache.get_or_compute(c, params.sketch_k));
+    let rart: Vec<std::sync::Arc<ColumnArtifacts>> =
+        pool.par_map(right.columns(), |c| cache.get_or_compute(c, params.sketch_k));
+    let ltypes: Vec<DType> = lart.iter().map(|a| a.dtype()).collect();
+    let rtypes: Vec<DType> = rart.iter().map(|a| a.dtype()).collect();
+    let lsketch: Vec<MinHashSketch> =
+        lart.iter().map(|a| a.sketch_at(params.sketch_k)).collect();
+    let rsketch: Vec<MinHashSketch> =
+        rart.iter().map(|a| a.sketch_at(params.sketch_k)).collect();
 
     // One parallel task per left column; flattening the per-`li` rows in
     // order reproduces the sequential lexicographic (li, ri) enumeration.
-    let singles: Vec<(usize, usize)> = pool
+    let mut singles: Vec<(usize, usize)> = pool
         .par_map_indexed(left.num_columns(), |li| {
             let mut row: Vec<(usize, usize)> = Vec::new();
             for ri in 0..right.num_columns() {
@@ -131,20 +135,24 @@ fn enumerate_inner(
         .flatten()
         .collect();
 
+    // Apply the cap to the singles *before* deriving anything from them, so
+    // two-column candidates can only combine singles that are themselves
+    // emitted — a pair never references a constituent the cap dropped.
+    singles.truncate(params.max_candidates);
+
     let mut out: Vec<JoinCandidate> = singles
         .iter()
         .map(|&(l, r)| JoinCandidate { left_cols: vec![l], right_cols: vec![r] })
         .collect();
-    out.truncate(params.max_candidates);
 
     if params.max_width >= 2 {
-        for (i, &(l1, r1)) in singles.iter().enumerate() {
+        'pairs: for (i, &(l1, r1)) in singles.iter().enumerate() {
             for &(l2, r2) in &singles[i + 1..] {
                 if l1 == l2 || r1 == r2 {
                     continue;
                 }
                 if out.len() >= params.max_candidates {
-                    return out;
+                    break 'pairs;
                 }
                 out.push(JoinCandidate {
                     left_cols: vec![l1, l2],
@@ -247,6 +255,81 @@ mod tests {
         let params = CandidateParams { max_candidates: 50, ..Default::default() };
         let cands = enumerate_join_candidates(&frame("l"), &frame("r"), &params);
         assert_eq!(cands.len(), 50);
+    }
+
+    /// A `n`-column frame of identical int columns: every (li, ri) pair
+    /// survives pruning, so singles = n² in lexicographic order.
+    fn dense_frame(prefix: &str, n: usize) -> DataFrame {
+        DataFrame::new(
+            (0..n)
+                .map(|i| {
+                    autosuggest_dataframe::Column::new(
+                        format!("{prefix}{i}"),
+                        intcol(&[1, 2, 3]),
+                    )
+                })
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn cap_below_singles_count_emits_exactly_the_first_singles() {
+        // 5×5 identical int columns → 25 surviving singles; a cap of 9
+        // must keep exactly the first 9 singles of the lexicographic
+        // enumeration and emit no pairs built from dropped singles.
+        let params = CandidateParams { max_candidates: 9, ..Default::default() };
+        let cands = enumerate_join_candidates(&dense_frame("l", 5), &dense_frame("r", 5), &params);
+        let expected: Vec<JoinCandidate> = (0..5)
+            .flat_map(|l| (0..5).map(move |r| (l, r)))
+            .take(9)
+            .map(|(l, r)| JoinCandidate { left_cols: vec![l], right_cols: vec![r] })
+            .collect();
+        assert_eq!(cands, expected);
+    }
+
+    #[test]
+    fn pair_constituents_are_always_emitted_singles() {
+        // Cap sits between the singles count (16) and the uncapped total,
+        // so the pair loop runs while the cap binds. Every emitted pair
+        // must decompose into two singles that are themselves in the
+        // output — the invariant the untruncated-`singles` pair loop
+        // violated by construction.
+        let params = CandidateParams { max_candidates: 20, ..Default::default() };
+        let cands = enumerate_join_candidates(&dense_frame("l", 4), &dense_frame("r", 4), &params);
+        assert_eq!(cands.len(), 20);
+        let singles: HashSet<(usize, usize)> = cands
+            .iter()
+            .filter(|c| c.left_cols.len() == 1)
+            .map(|c| (c.left_cols[0], c.right_cols[0]))
+            .collect();
+        assert_eq!(singles.len(), 16);
+        for c in cands.iter().filter(|c| c.left_cols.len() == 2) {
+            for w in 0..2 {
+                assert!(
+                    singles.contains(&(c.left_cols[w], c.right_cols[w])),
+                    "pair {c:?} references a single that was not emitted"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn capped_enumeration_is_a_prefix_of_the_uncapped_one() {
+        // Tightening the cap must only ever drop a suffix, never reorder or
+        // substitute candidates.
+        let uncapped = enumerate_join_candidates(
+            &dense_frame("l", 4),
+            &dense_frame("r", 4),
+            &CandidateParams::default(),
+        );
+        for cap in [1, 7, 16, 21, 40, uncapped.len()] {
+            let params = CandidateParams { max_candidates: cap, ..Default::default() };
+            let capped =
+                enumerate_join_candidates(&dense_frame("l", 4), &dense_frame("r", 4), &params);
+            assert_eq!(capped.len(), cap.min(uncapped.len()));
+            assert_eq!(capped[..], uncapped[..capped.len()]);
+        }
     }
 
     #[test]

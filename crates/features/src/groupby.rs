@@ -1,5 +1,6 @@
 //! Per-column GroupBy/Aggregation features (§4.2) — the groups of Table 7.
 
+use autosuggest_cache::{ColumnArtifacts, ColumnCache};
 use autosuggest_dataframe::{Column, DType};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -101,17 +102,36 @@ impl GroupByFeatures {
 
 /// Extract the §4.2 feature vector for column `col` at position `position`
 /// of a table with `num_columns` columns.
+///
+/// Column statistics are fetched through the content-addressed cache — the
+/// same column featurised repeatedly (candidate sweeps, training vs.
+/// evaluation passes) computes its artifacts once. The name and position
+/// inputs are not part of the cached content, so they are passed alongside.
 pub fn groupby_features(
     col: &Column,
     position: usize,
     num_columns: usize,
     prior: &ColumnNamePrior,
 ) -> GroupByFeatures {
-    let distinct = col.distinct_count();
-    let dtype = col.dtype();
+    let art = ColumnCache::global().artifacts(col);
+    groupby_features_from_artifacts(col.name(), &art, position, num_columns, prior)
+}
+
+/// The featuriser body, operating on pre-computed [`ColumnArtifacts`]
+/// (exposed so batched callers can warm artifacts once and featurise many
+/// positions without re-hashing the column).
+pub fn groupby_features_from_artifacts(
+    name: &str,
+    art: &ColumnArtifacts,
+    position: usize,
+    num_columns: usize,
+    prior: &ColumnNamePrior,
+) -> GroupByFeatures {
+    let distinct = art.distinct_count();
+    let dtype = art.dtype();
     let one = |d: DType| if dtype == d { 1.0 } else { 0.0 };
 
-    let (range_log, distinct_over_range) = match col.numeric_range() {
+    let (range_log, distinct_over_range) = match art.min_max() {
         Some((lo, hi)) => {
             let span = (hi - lo).max(0.0);
             (
@@ -122,13 +142,13 @@ pub fn groupby_features(
         None => (0.0, 0.0),
     };
 
-    let peak = col.peak_frequency();
-    let rows = col.len().max(1);
+    let peak = art.peak_frequency();
+    let rows = art.len().max(1);
 
     GroupByFeatures {
         values: vec![
             (1.0 + distinct as f64).ln(),
-            col.distinct_ratio(),
+            art.distinct_ratio(),
             one(DType::Str),
             one(DType::Int),
             one(DType::Float),
@@ -136,12 +156,12 @@ pub fn groupby_features(
             one(DType::Bool),
             position as f64,
             position as f64 / num_columns.max(1) as f64,
-            col.emptiness(),
+            art.null_fraction(),
             range_log,
             distinct_over_range,
             (1.0 + peak as f64).ln(),
             peak as f64 / rows as f64,
-            prior.log_odds(col.name()),
+            prior.log_odds(name),
         ],
     }
 }

@@ -1,8 +1,10 @@
 //! Join-candidate features (§4.1) — the eight groups of Table 4.
 
 use crate::candidates::{key_tuple_hashes, JoinCandidate};
+use autosuggest_cache::{ColumnArtifacts, ColumnCache};
 use autosuggest_dataframe::{DataFrame, DType};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Names of the join feature vector entries, in extraction order.
 pub const JOIN_FEATURE_NAMES: [&str; 18] = [
@@ -92,15 +94,25 @@ pub fn join_features(
     let cont_l = if !lkeys.is_empty() { inter / lkeys.len() as f64 } else { 0.0 };
     let cont_r = if !rkeys.is_empty() { inter / rkeys.len() as f64 } else { 0.0 };
 
+    // Per-key-column dtypes and numeric ranges come from the
+    // content-addressed cache: key columns recur across the many candidates
+    // of one table pair, so these statistics are fetched once per distinct
+    // column content (artifact values delegate to the same `Column` methods
+    // previously called inline). Sorted-ness stays a direct column call —
+    // it is row-order-sensitive and deliberately not cached.
+    let cache = ColumnCache::global();
+    let larts: Vec<Arc<ColumnArtifacts>> =
+        cand.left_cols.iter().map(|&c| cache.artifacts(left.column_at(c))).collect();
+    let rarts: Vec<Arc<ColumnArtifacts>> =
+        cand.right_cols.iter().map(|&c| cache.artifacts(right.column_at(c))).collect();
+
     // Value-range-overlap: only defined for single-column numeric pairs;
     // multi-column candidates average their per-position overlaps.
     let mut range_overlaps = Vec::with_capacity(cand.left_cols.len());
-    for (&lc, &rc) in cand.left_cols.iter().zip(&cand.right_cols) {
-        let lcol = left.column_at(lc);
-        let rcol = right.column_at(rc);
+    for (lcol, rcol) in larts.iter().zip(&rarts) {
         if lcol.dtype().is_numeric() && rcol.dtype().is_numeric() {
             if let (Some((llo, lhi)), Some((rlo, rhi))) =
-                (lcol.numeric_range(), rcol.numeric_range())
+                (lcol.min_max(), rcol.min_max())
             {
                 let inter = (lhi.min(rhi) - llo.max(rlo)).max(0.0);
                 let uni = (lhi.max(rhi) - llo.min(rlo)).max(f64::EPSILON);
@@ -125,11 +137,10 @@ pub fn join_features(
     // Key dtype indicators (unified across positions: "string key" only when
     // every key column is a string, etc.).
     let all_dtype = |want: fn(DType) -> bool| -> f64 {
-        let ok = cand
-            .left_cols
+        let ok = larts
             .iter()
-            .zip(&cand.right_cols)
-            .all(|(&lc, &rc)| want(left.column_at(lc).dtype()) && want(right.column_at(rc).dtype()));
+            .zip(&rarts)
+            .all(|(l, r)| want(l.dtype()) && want(r.dtype()));
         if ok {
             1.0
         } else {

@@ -15,7 +15,9 @@
 //!
 //! Candidate enumeration for joins — with the paper's type-mismatch and
 //! sketch-based containment pruning (footnote 2) — lives in
-//! [`candidates`]; the MinHash-style sketch in [`sketch`].
+//! [`candidates`]; the MinHash-style sketch in [`sketch`] (re-exported from
+//! `autosuggest-cache`, which interns sketches and column statistics in a
+//! content-addressed cache the featurisers fetch through).
 
 pub mod affinity;
 pub mod candidates;
@@ -26,7 +28,8 @@ pub mod sketch;
 pub use affinity::{affinity_features, AffinityFeatures, AFFINITY_FEATURE_NAMES};
 pub use candidates::{enumerate_join_candidates, CandidateParams, JoinCandidate};
 pub use groupby::{
-    groupby_features, ColumnNamePrior, GroupByFeatures, GROUPBY_FEATURE_NAMES,
+    groupby_features, groupby_features_from_artifacts, ColumnNamePrior, GroupByFeatures,
+    GROUPBY_FEATURE_NAMES,
 };
 pub use join::{join_features, JoinFeatures, JOIN_FEATURE_GROUPS, JOIN_FEATURE_NAMES};
 pub use sketch::MinHashSketch;

@@ -1,157 +1,6 @@
-//! Bottom-k MinHash sketches for cheap containment pre-checks.
-//!
-//! Footnote 2 of the paper prunes join candidates with "sketch-based
-//! containment-checks" before featurising. A bottom-k sketch keeps the `k`
-//! smallest 64-bit hashes of a value set; the Jaccard similarity of two sets
-//! is estimated from the overlap of their merged bottom-k, and containment
-//! follows from Jaccard plus the (known) set sizes.
+//! MinHash sketches — moved to `autosuggest-cache` so the content-addressed
+//! column cache can intern sketches alongside the other per-column
+//! statistics. Re-exported here so existing `features::sketch` callers keep
+//! compiling unchanged.
 
-use serde::{Deserialize, Serialize};
-
-/// A bottom-k sketch of a set of hashed values.
-#[derive(Debug, Clone, Serialize, Deserialize)]
-pub struct MinHashSketch {
-    k: usize,
-    /// The `k` smallest hashes, sorted ascending.
-    mins: Vec<u64>,
-    /// Exact distinct count of the underlying set.
-    cardinality: usize,
-}
-
-impl MinHashSketch {
-    /// Build from an iterator of value hashes (callers hash [`Value`]s with
-    /// their `fingerprint`).
-    ///
-    /// [`Value`]: autosuggest_dataframe::Value
-    pub fn from_hashes<I: IntoIterator<Item = u64>>(hashes: I, k: usize) -> Self {
-        assert!(k > 0);
-        let mut all: Vec<u64> = hashes.into_iter().collect();
-        all.sort_unstable();
-        all.dedup();
-        let cardinality = all.len();
-        all.truncate(k);
-        MinHashSketch { k, mins: all, cardinality }
-    }
-
-    pub fn cardinality(&self) -> usize {
-        self.cardinality
-    }
-
-    /// Estimate the Jaccard similarity with another sketch (exact when both
-    /// sets fit within `k`).
-    pub fn jaccard(&self, other: &MinHashSketch) -> f64 {
-        assert_eq!(self.k, other.k, "sketches must share k");
-        if self.cardinality == 0 && other.cardinality == 0 {
-            return 1.0;
-        }
-        if self.mins.is_empty() || other.mins.is_empty() {
-            return 0.0;
-        }
-        // Merge the two bottom-k lists, keep the k smallest distinct hashes
-        // of the union, and count how many appear in both sketches.
-        let mut merged: Vec<u64> = self
-            .mins
-            .iter()
-            .chain(other.mins.iter())
-            .copied()
-            .collect();
-        merged.sort_unstable();
-        merged.dedup();
-        merged.truncate(self.k);
-        let both = merged
-            .iter()
-            .filter(|h| {
-                self.mins.binary_search(h).is_ok() && other.mins.binary_search(h).is_ok()
-            })
-            .count();
-        both as f64 / merged.len() as f64
-    }
-
-    /// Estimate the containment of `self`'s set within `other`'s set:
-    /// `|A ∩ B| / |A|`, derived from the Jaccard estimate and exact
-    /// cardinalities.
-    pub fn containment_in(&self, other: &MinHashSketch) -> f64 {
-        if self.cardinality == 0 {
-            return 1.0;
-        }
-        let j = self.jaccard(other);
-        // |A∩B| = J/(1+J) · (|A|+|B|)
-        let inter = j / (1.0 + j) * (self.cardinality + other.cardinality) as f64;
-        (inter / self.cardinality as f64).clamp(0.0, 1.0)
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    fn sketch(vals: std::ops::Range<u64>, k: usize) -> MinHashSketch {
-        MinHashSketch::from_hashes(vals.map(mix), k)
-    }
-
-    /// A cheap 64-bit mixer so consecutive integers behave like hashes.
-    fn mix(x: u64) -> u64 {
-        let mut h = x.wrapping_mul(0x9e37_79b9_7f4a_7c15);
-        h ^= h >> 32;
-        h = h.wrapping_mul(0xd6e8_feb8_6659_fd93);
-        h ^ (h >> 32)
-    }
-
-    #[test]
-    fn identical_sets_have_jaccard_one() {
-        let a = sketch(0..1000, 64);
-        let b = sketch(0..1000, 64);
-        assert_eq!(a.jaccard(&b), 1.0);
-        assert_eq!(a.containment_in(&b), 1.0);
-    }
-
-    #[test]
-    fn disjoint_sets_have_jaccard_zero() {
-        let a = sketch(0..500, 64);
-        let b = sketch(10_000..10_500, 64);
-        assert_eq!(a.jaccard(&b), 0.0);
-        assert_eq!(a.containment_in(&b), 0.0);
-    }
-
-    #[test]
-    fn small_sets_are_exact() {
-        // Both sets fit inside k, so the estimate is exact: |∩|=5, |∪|=15.
-        let a = sketch(0..10, 64);
-        let b = sketch(5..15, 64);
-        assert!((a.jaccard(&b) - 5.0 / 15.0).abs() < 1e-12);
-        assert!((a.containment_in(&b) - 0.5).abs() < 1e-9);
-    }
-
-    #[test]
-    fn large_set_estimate_is_close() {
-        // 50% overlap on sets much larger than k.
-        let a = sketch(0..20_000, 128);
-        let b = sketch(10_000..30_000, 128);
-        let true_j = 10_000.0 / 30_000.0;
-        assert!((a.jaccard(&b) - true_j).abs() < 0.12, "estimate {}", a.jaccard(&b));
-    }
-
-    #[test]
-    fn subset_containment_near_one() {
-        let a = sketch(0..100, 64);
-        let b = sketch(0..10_000, 64);
-        assert!(a.containment_in(&b) > 0.6, "got {}", a.containment_in(&b));
-    }
-
-    #[test]
-    fn empty_set_edge_cases() {
-        let e = MinHashSketch::from_hashes(std::iter::empty(), 16);
-        let a = sketch(0..10, 16);
-        assert_eq!(e.jaccard(&e), 1.0);
-        assert_eq!(e.containment_in(&a), 1.0);
-        assert_eq!(a.jaccard(&e), 0.0);
-    }
-
-    #[test]
-    #[should_panic(expected = "share k")]
-    fn mismatched_k_panics() {
-        let a = MinHashSketch::from_hashes([1, 2], 4);
-        let b = MinHashSketch::from_hashes([1, 2], 8);
-        a.jaccard(&b);
-    }
-}
+pub use autosuggest_cache::MinHashSketch;

@@ -73,8 +73,25 @@ pub struct Prf {
 
 /// Set precision/recall/F1 between a predicted item set and the ground
 /// truth (Table 9 scores Unpivot column selections this way).
+///
+/// True positives are counted by greedy one-to-one matching: each ground
+/// truth item can satisfy at most one prediction, so a duplicated
+/// prediction is a precision error rather than an extra hit, and recall can
+/// never exceed 1. (Symmetrically, duplicates in `truth` need distinct
+/// matching predictions.)
 pub fn set_prf<T: PartialEq>(predicted: &[T], truth: &[T]) -> Prf {
-    let tp = predicted.iter().filter(|p| truth.contains(p)).count() as f64;
+    let mut matched = vec![false; truth.len()];
+    let mut tp = 0.0f64;
+    for p in predicted {
+        if let Some(i) = truth
+            .iter()
+            .enumerate()
+            .position(|(i, t)| !matched[i] && t == p)
+        {
+            matched[i] = true;
+            tp += 1.0;
+        }
+    }
     let precision = if predicted.is_empty() { 0.0 } else { tp / predicted.len() as f64 };
     let recall = if truth.is_empty() { 0.0 } else { tp / truth.len() as f64 };
     let f1 = if precision + recall == 0.0 {
@@ -177,6 +194,48 @@ mod tests {
         assert_eq!(prf.f1, 0.0);
         let prf = set_prf(&["a"], &["a"]);
         assert_eq!(prf.f1, 1.0);
+    }
+
+    #[test]
+    fn set_prf_duplicate_predictions_do_not_inflate_tp() {
+        // Regression: each ground-truth item may satisfy only one
+        // prediction. The old membership count scored ["a","a","a"] vs
+        // ["a"] as tp=3 → precision 1.0 and recall 3.0.
+        let prf = set_prf(&["a", "a", "a"], &["a"]);
+        assert!((prf.precision - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(prf.recall, 1.0);
+        assert!(prf.recall <= 1.0);
+        let expect_f1 = 2.0 * (1.0 / 3.0) * 1.0 / (1.0 / 3.0 + 1.0);
+        assert!((prf.f1 - expect_f1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn set_prf_mixed_duplicates_and_misses() {
+        // ["a","a","b","x"] vs ["a","b","c"]: matches are one "a", one "b" →
+        // tp=2 (the duplicate "a" and the stray "x" are precision errors).
+        let prf = set_prf(&["a", "a", "b", "x"], &["a", "b", "c"]);
+        assert!((prf.precision - 0.5).abs() < 1e-12);
+        assert!((prf.recall - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn set_prf_duplicate_truth_needs_duplicate_predictions() {
+        // Multiset semantics in the other direction: truth ["a","a"] is only
+        // fully recalled by predicting "a" twice.
+        let prf = set_prf(&["a"], &["a", "a"]);
+        assert_eq!(prf.precision, 1.0);
+        assert!((prf.recall - 0.5).abs() < 1e-12);
+        let prf = set_prf(&["a", "a"], &["a", "a"]);
+        assert_eq!(prf.f1, 1.0);
+    }
+
+    #[test]
+    fn set_prf_distinct_sets_unchanged_by_matching_rule() {
+        // With no duplicates anywhere, greedy one-to-one matching counts
+        // exactly the intersection — identical to the old behaviour.
+        let prf = set_prf(&["a", "b", "c"], &["b", "c", "d", "e"]);
+        assert!((prf.precision - 2.0 / 3.0).abs() < 1e-12);
+        assert!((prf.recall - 0.5).abs() < 1e-12);
     }
 
     #[test]

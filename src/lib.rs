@@ -19,7 +19,11 @@
 //! * [`baselines`] — every comparator of the evaluation (§6);
 //! * [`core`] — the Auto-Suggest predictors and end-to-end pipeline;
 //! * [`obs`] — deterministic observability: spans, counters, gauges and
-//!   histograms whose non-timing view is bit-identical at any thread count.
+//!   histograms whose non-timing view is bit-identical at any thread count;
+//! * [`cache`] — the content-addressed column-artifact cache (128-bit
+//!   multiset fingerprints → interned sketches/statistics; on by default,
+//!   `AUTOSUGGEST_CACHE=0` disables, hit/miss/eviction counters land in the
+//!   deterministic obs section).
 //!
 //! ```no_run
 //! use auto_suggest::core::{AutoSuggest, AutoSuggestConfig};
@@ -35,6 +39,7 @@
 //! ```
 
 pub use autosuggest_baselines as baselines;
+pub use autosuggest_cache as cache;
 pub use autosuggest_parallel as parallel;
 pub use autosuggest_core as core;
 pub use autosuggest_corpus as corpus;
