@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! repro [--fast] [--seed N] [--timing] [--trace PATH] [--cache-stats]
+//!       [--gbdt-hist]
 //!       all | table2 | table3 | table4 | table5 | table6 | table7 |
 //!       table8 | table9 | table10 | table11 | ablation-ampt |
 //!       ablation-cmut | ablation-join
@@ -14,8 +15,10 @@
 //!
 //! `--timing` additionally writes `BENCH_repro.json` to the current
 //! directory with per-stage pipeline timings, per-table wall-clock,
-//! per-stage histograms from the obs layer, and the thread count used
-//! (see `AUTOSUGGEST_THREADS`).
+//! per-stage histograms from the obs layer, the thread count used
+//! (see `AUTOSUGGEST_THREADS`), and a `"training"` breakdown (RNN and
+//! GBDT trainer wall-clock plus deterministic work counters: batches,
+//! examples, nodes split, histogram bins built).
 //!
 //! `--trace PATH` writes the full observability trace: the span tree
 //! (generate/replay/train/evaluate, down to per-notebook replay), every
@@ -28,6 +31,11 @@
 //! disables the cache). With `--timing`, BENCH_repro.json additionally
 //! gains a `"cache"` section with an off/cold/warm featurisation sweep
 //! over the held-out tables.
+//!
+//! `--gbdt-hist` trains every GBDT with the histogram split kernel (≤256
+//! bins, sibling subtraction) instead of the exact presorted scan. Tables
+//! then agree with exact mode to statistical precision but are not
+//! byte-identical — don't diff them against exact-mode goldens.
 //!
 //! Tables are evaluated concurrently on the shared work-stealing pool —
 //! each evaluator is a pure function of the trained context, so results
@@ -88,6 +96,7 @@ fn main() {
     let mut fast = false;
     let mut timing = false;
     let mut cache_stats = false;
+    let mut gbdt_hist = false;
     let mut seed = 42u64;
     let mut trace_path: Option<String> = None;
     let mut targets: Vec<String> = Vec::new();
@@ -97,6 +106,7 @@ fn main() {
             "--fast" => fast = true,
             "--timing" => timing = true,
             "--cache-stats" => cache_stats = true,
+            "--gbdt-hist" => gbdt_hist = true,
             "--seed" => {
                 seed = it
                     .next()
@@ -126,6 +136,7 @@ fn main() {
         AutoSuggestConfig::default()
     };
     config.corpus = if fast { CorpusConfig::small(seed) } else { CorpusConfig { seed, ..CorpusConfig::default() } };
+    config.gbdt.histogram = gbdt_hist;
 
     let threads = autosuggest_parallel::current_threads();
     eprintln!(
@@ -248,6 +259,28 @@ fn main() {
             .get("histograms")
             .cloned()
             .unwrap_or(Value::Object(serde_json::Map::new()));
+        // Training-kernel breakdown: trainer wall-clock comes from the
+        // timing histograms the trainers record; the work counters
+        // (batches, nodes, bins) come from the deterministic section, so
+        // they are bit-identical at any thread count.
+        let hist = |name: &str| snapshot.histograms.get(name);
+        let hist_sum = |name: &str| hist(name).map(|h| h.sum).unwrap_or(0.0);
+        let counter = |name: &str| snapshot.counters.get(name).copied().unwrap_or(0);
+        let training = json!({
+            "histogram_mode": ctx.system.config.gbdt.histogram,
+            "rnn": {
+                "train_seconds": hist_sum("nextop.rnn_train_seconds"),
+                "batches": counter("nn.rnn.batches"),
+                "examples_trained": counter("nn.rnn.examples_trained"),
+            },
+            "gbdt": {
+                "fit_seconds": hist_sum("gbdt.fit_seconds"),
+                "split_scan_seconds": hist_sum("gbdt.split_scan_seconds"),
+                "fits": hist("gbdt.fit_seconds").map(|h| h.count).unwrap_or(0),
+                "nodes_split": counter("gbdt.nodes_split"),
+                "bins_built": counter("gbdt.bins_built"),
+            },
+        });
         // Cache-on/off timing comparison: the same featurisation workload
         // (join candidate enumeration + groupby scoring over the held-out
         // tables) is run three times — cache disabled, enabled-but-cold,
@@ -302,6 +335,7 @@ fn main() {
             "stages": Value::Array(stages),
             "tables": Value::Array(table_times),
             "histograms": histograms,
+            "training": training,
             "robustness": robustness,
             "cache": cache_report,
         });

@@ -27,22 +27,30 @@ where
 pub fn rows(ctx: &ReproContext) -> Vec<TableRow> {
     let m = &ctx.system.models;
     let random = RandomNextOp::new(99);
+    // The learned models score the whole test set through the batched
+    // (length-bucketed, scratch-reusing) prediction path; each row of the
+    // result is bit-identical to a per-query `predict_ranked` call, so the
+    // golden surface is unchanged.
+    let queries: Vec<(&[usize], &[f64])> = ctx
+        .system
+        .test
+        .nextop
+        .iter()
+        .map(|ex| (ex.prefix.as_slice(), ex.table_scores.as_slice()))
+        .collect();
+    let full = m.nextop_full.predict_ranked_batch(&queries);
+    let rnn_only = m.nextop_rnn_only.predict_ranked_batch(&queries);
+    let single = m.nextop_single_ops.predict_ranked_batch(&queries);
     vec![
-        TableRow::new(
-            "Auto-Suggest",
-            evaluate(ctx, |_, p, t| m.nextop_full.predict_ranked(p, t)),
-        ),
-        TableRow::new(
-            "RNN",
-            evaluate(ctx, |_, p, t| m.nextop_rnn_only.predict_ranked(p, t)),
-        ),
+        TableRow::new("Auto-Suggest", evaluate(ctx, |i, _, _| full[i].clone())),
+        TableRow::new("RNN", evaluate(ctx, |i, _, _| rnn_only[i].clone())),
         TableRow::new(
             "N-gram model",
             evaluate(ctx, |_, p, _| m.ngram.predict_ranked(p)),
         ),
         TableRow::new(
             "Single-Operators",
-            evaluate(ctx, |_, p, t| m.nextop_single_ops.predict_ranked(p, t)),
+            evaluate(ctx, |i, _, _| single[i].clone()),
         ),
         TableRow::new("Random", evaluate(ctx, |i, _, _| random.predict_ranked(i))),
     ]

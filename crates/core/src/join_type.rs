@@ -83,16 +83,20 @@ impl JoinTypePredictor {
             return None;
         }
         let names: Vec<String> = TYPE_FEATURE_NAMES.iter().map(|s| s.to_string()).collect();
-        let mut models = Vec::with_capacity(JoinType::ALL.len());
-        for &jt in JoinType::ALL.iter() {
+        // The four one-vs-rest fits are independent, so they train on the
+        // pool; `par_map` returns them in `JoinType::ALL` order and each
+        // fit's arithmetic is untouched, so the models are bit-identical
+        // to the sequential loop at any thread count.
+        let fitted: Vec<Option<Gbdt>> = autosuggest_parallel::par_map(&JoinType::ALL, |&jt| {
             let labels: Vec<f64> = hows
                 .iter()
                 .map(|&h| if h == jt { 1.0 } else { 0.0 })
                 .collect();
             let data = Dataset::new(names.clone(), rows.clone(), labels).ok()?;
-            models.push(Gbdt::fit(&data, gbdt));
-        }
-        Some(JoinTypePredictor { models })
+            Some(Gbdt::fit(&data, gbdt))
+        });
+        let models: Option<Vec<Gbdt>> = fitted.into_iter().collect();
+        Some(JoinTypePredictor { models: models? })
     }
 
     /// Scores per join type, ordered as [`JoinType::ALL`].

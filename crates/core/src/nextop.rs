@@ -115,6 +115,9 @@ pub struct NextOpConfig {
     pub mlp_hidden: usize,
     pub epochs: usize,
     pub lr: f64,
+    /// Examples per Adam step (see [`RnnConfig::batch_size`]); 1 keeps the
+    /// historical per-example schedule bit-for-bit.
+    pub batch_size: usize,
     pub seed: u64,
 }
 
@@ -127,6 +130,7 @@ impl Default for NextOpConfig {
             mlp_hidden: 24,
             epochs: 40,
             lr: 5e-3,
+            batch_size: 1,
             seed: 7,
         }
     }
@@ -155,6 +159,7 @@ impl NextOpPredictor {
                     classes: NUM_OPS,
                     lr: cfg.lr,
                     epochs: cfg.epochs,
+                    batch_size: cfg.batch_size,
                     seed: cfg.seed,
                 };
                 let seq_examples: Vec<SequenceExample> = examples
@@ -167,7 +172,9 @@ impl NextOpPredictor {
                     .collect();
                 let mut model = RnnClassifier::new(rnn_cfg);
                 if !seq_examples.is_empty() {
+                    let started = std::time::Instant::now();
                     model.train(&seq_examples);
+                    autosuggest_obs::observe_since("nextop.rnn_train_seconds", started);
                 }
                 Some(model)
             }
@@ -187,6 +194,25 @@ impl NextOpPredictor {
             }
             (Some(rnn), NextOpMode::Full) => rnn.predict_ranked(prefix, table_scores),
             (Some(rnn), _) => rnn.predict_ranked(prefix, &[]),
+        }
+    }
+
+    /// [`Self::predict_ranked`] over a batch of queries: RNN modes bucket
+    /// the prefixes by length and score them on shared scratch buffers
+    /// (one allocation pass for the whole batch); each output row is
+    /// bit-identical to the per-query call.
+    pub fn predict_ranked_batch(&self, queries: &[(&[usize], &[f64])]) -> Vec<Vec<usize>> {
+        match (&self.rnn, self.cfg.mode) {
+            (None, _) => queries
+                .iter()
+                .map(|(p, ts)| self.predict_ranked(p, ts))
+                .collect(),
+            (Some(rnn), NextOpMode::Full) => rnn.predict_ranked_batch(queries),
+            (Some(rnn), _) => {
+                let stripped: Vec<(&[usize], &[f64])> =
+                    queries.iter().map(|&(p, _)| (p, &[] as &[f64])).collect();
+                rnn.predict_ranked_batch(&stripped)
+            }
         }
     }
 
@@ -271,6 +297,26 @@ mod tests {
         gb_table[3] = 0.9;
         gb_table[4] = 0.05;
         assert_eq!(model.predict(&[1], &gb_table), OpKind::GroupBy);
+    }
+
+    #[test]
+    fn batch_ranking_matches_per_query_ranking() {
+        for mode in [NextOpMode::Full, NextOpMode::RnnOnly, NextOpMode::SingleOperators] {
+            let cfg = NextOpConfig { mode, epochs: 20, ..Default::default() };
+            let model = NextOpPredictor::train(cfg, &fake_examples());
+            let queries: Vec<(Vec<usize>, Vec<f64>)> = vec![
+                (vec![5], vec![0.1; NUM_OPS]),
+                (vec![], vec![0.5; NUM_OPS]),
+                (vec![5, 3], vec![0.0; NUM_OPS]),
+                (vec![0], vec![0.9; NUM_OPS]),
+            ];
+            let refs: Vec<(&[usize], &[f64])> =
+                queries.iter().map(|(p, t)| (p.as_slice(), t.as_slice())).collect();
+            let batched = model.predict_ranked_batch(&refs);
+            for (i, (p, t)) in refs.iter().enumerate() {
+                assert_eq!(batched[i], model.predict_ranked(p, t), "mode {mode:?} query {i}");
+            }
+        }
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Gradient boosting over regression trees (squared loss).
 
-use crate::data::Dataset;
-use crate::tree::{RegressionTree, TreeParams};
+use crate::data::{BinnedDataset, Dataset};
+use crate::tree::{Presorted, RegressionTree, TreeParams};
 use autosuggest_obs as obs;
 use serde::{Deserialize, Serialize};
 
@@ -17,6 +17,13 @@ pub struct GbdtParams {
     /// Fraction of rows sampled (without replacement, deterministically
     /// strided) per round; 1.0 disables subsampling.
     pub subsample: f64,
+    /// Use LightGBM-style histogram split finding instead of exact scans:
+    /// features are binned once per fit (≤ `max_bins` bins) and split
+    /// thresholds land on bin boundaries. Off by default — the exact
+    /// kernel keeps the committed goldens byte-stable.
+    pub histogram: bool,
+    /// Bins per feature in histogram mode (`2..=256`); ignored otherwise.
+    pub max_bins: usize,
 }
 
 impl Default for GbdtParams {
@@ -26,6 +33,8 @@ impl Default for GbdtParams {
             learning_rate: 0.1,
             tree: TreeParams::default(),
             subsample: 1.0,
+            histogram: false,
+            max_bins: 256,
         }
     }
 }
@@ -58,6 +67,7 @@ impl Gbdt {
         assert!(!data.is_empty(), "cannot fit GBDT on an empty dataset");
         assert!(params.subsample > 0.0 && params.subsample <= 1.0);
         let _fit_span = obs::span("gbdt_fit");
+        let fit_started = std::time::Instant::now();
         obs::counter_add("gbdt.fits", 1);
         obs::counter_add("gbdt.rounds", params.n_trees as u64);
         let n = data.len();
@@ -65,13 +75,27 @@ impl Gbdt {
         let mut preds = vec![base; n];
         let mut trees = Vec::with_capacity(params.n_trees);
         let mut residuals = vec![0.0; n];
+        // Target-independent per-fit structures, built once and reused by
+        // every round: bin codes in histogram mode, presorted feature
+        // lists in exact mode (only when all rounds train on all rows —
+        // subsampling changes the row set per round).
+        let binned = params.histogram.then(|| BinnedDataset::build(data, params.max_bins));
+        let presorted = (!params.histogram && params.subsample >= 1.0)
+            .then(|| Presorted::build(data, &(0..n).collect::<Vec<_>>()));
         for round in 0..params.n_trees {
+            let _tree_span = obs::span("gbdt_tree");
             for (i, (r, p)) in residuals.iter_mut().zip(&preds).enumerate() {
                 *r = data.label(i) - p;
             }
             let idx = subsample_indices(n, params.subsample, round);
             let scan_started = std::time::Instant::now();
-            let tree = RegressionTree::fit(data, &residuals, &idx, &params.tree);
+            let tree = match (&binned, &presorted) {
+                (Some(b), _) => RegressionTree::fit_hist(data, &residuals, b, &idx, &params.tree),
+                (None, Some(pre)) => {
+                    RegressionTree::fit_with_presorted(data, &residuals, &idx, &params.tree, pre)
+                }
+                (None, None) => RegressionTree::fit(data, &residuals, &idx, &params.tree),
+            };
             obs::observe_since("gbdt.split_scan_seconds", scan_started);
             // Row predictions are independent; the pool returns them in row
             // order and each update touches only its own slot, so the new
@@ -84,6 +108,7 @@ impl Gbdt {
             }
             trees.push(tree);
         }
+        obs::observe_since("gbdt.fit_seconds", fit_started);
         Gbdt {
             base,
             learning_rate: params.learning_rate,
@@ -237,6 +262,43 @@ mod tests {
         for i in 0..50 {
             assert_eq!(a.predict(data.row(i)), b.predict(data.row(i)));
         }
+    }
+
+    #[test]
+    fn histogram_mode_learns_and_is_deterministic() {
+        let rows: Vec<Vec<f64>> = (0..300).map(|i| vec![i as f64 / 300.0, (i % 7) as f64]).collect();
+        let labels: Vec<f64> = rows.iter().map(|r| if r[0] < 0.4 { 0.0 } else { 1.0 }).collect();
+        let data = dataset(rows, labels);
+        let params = GbdtParams { histogram: true, max_bins: 32, ..Default::default() };
+        let a = Gbdt::fit(&data, &params);
+        let b = Gbdt::fit(&data, &params);
+        assert!(a.predict(&[0.1, 3.0]) < 0.2);
+        assert!(a.predict(&[0.9, 3.0]) > 0.8);
+        for i in 0..data.len() {
+            assert_eq!(a.predict(data.row(i)).to_bits(), b.predict(data.row(i)).to_bits());
+        }
+    }
+
+    #[test]
+    fn histogram_mode_tracks_exact_mode_closely() {
+        let rows: Vec<Vec<f64>> = (0..400)
+            .map(|i| vec![(i as f64 * 0.618).fract(), (i as f64 * 0.323).fract()])
+            .collect();
+        let labels: Vec<f64> =
+            rows.iter().map(|r| r[0] * 2.0 + if r[1] > 0.5 { 1.0 } else { 0.0 }).collect();
+        let data = dataset(rows, labels);
+        let exact = Gbdt::fit(&data, &GbdtParams::default());
+        let hist = Gbdt::fit(
+            &data,
+            &GbdtParams { histogram: true, max_bins: 64, ..Default::default() },
+        );
+        let mse = |m: &Gbdt| {
+            (0..data.len())
+                .map(|i| (m.predict(data.row(i)) - data.label(i)).powi(2))
+                .sum::<f64>()
+                / data.len() as f64
+        };
+        assert!(mse(&hist) < mse(&exact) + 0.01, "hist {} exact {}", mse(&hist), mse(&exact));
     }
 
     #[test]

@@ -25,6 +25,6 @@ mod importance;
 mod tree;
 
 pub use boost::{Gbdt, GbdtParams};
-pub use data::Dataset;
+pub use data::{BinnedDataset, Dataset, MAX_HIST_BINS};
 pub use importance::{aggregate_importance, normalize};
-pub use tree::{RegressionTree, TreeParams};
+pub use tree::{Presorted, RegressionTree, TreeParams};

@@ -1,9 +1,13 @@
 //! Small dense layers and activations.
 //!
-//! Everything here is deliberately plain `Vec<f64>` math: the next-operator
-//! model has a 7-symbol vocabulary and a few thousand parameters, so clarity
-//! beats BLAS.
+//! The next-operator model has a 7-symbol vocabulary and a few thousand
+//! parameters, so the kernels in [`crate::matmul`] favour allocation-free
+//! batch buffers over BLAS. Each layer offers the historical per-example
+//! API (allocating, used by tests and small callers) plus `*_batch`
+//! variants that write into caller-owned scratch — both lower to the same
+//! kernels, so a batch of one is bit-identical to the per-example path.
 
+use crate::matmul::{gemm_backward, gemm_bias};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -37,39 +41,41 @@ impl Dense {
 
     /// Forward pass for a single example.
     pub fn forward(&self, x: &[f64]) -> Vec<f64> {
-        debug_assert_eq!(x.len(), self.in_dim);
-        let mut y = self.b.clone();
-        for (i, &xi) in x.iter().enumerate() {
-            if xi == 0.0 {
-                continue;
-            }
-            let row = &self.w[i * self.out_dim..(i + 1) * self.out_dim];
-            for (yj, wj) in y.iter_mut().zip(row) {
-                *yj += xi * wj;
-            }
-        }
+        let mut y = vec![0.0; self.out_dim];
+        self.forward_batch(x, 1, &mut y);
         y
+    }
+
+    /// Forward pass for a row-major batch: `out[r] = x[r]·W + b`.
+    /// `out` must hold at least `batch × out_dim` elements.
+    pub fn forward_batch(&self, x: &[f64], batch: usize, out: &mut [f64]) {
+        debug_assert_eq!(x.len(), batch * self.in_dim);
+        gemm_bias(x, batch, self.in_dim, &self.w, &self.b, self.out_dim, out);
     }
 
     /// Backward pass: accumulate `dW`, `db` and return `dx`.
     pub fn backward(&mut self, x: &[f64], dy: &[f64]) -> Vec<f64> {
-        debug_assert_eq!(dy.len(), self.out_dim);
         let mut dx = vec![0.0; self.in_dim];
-        for i in 0..self.in_dim {
-            let row = &self.w[i * self.out_dim..(i + 1) * self.out_dim];
-            let drow = &mut self.dw[i * self.out_dim..(i + 1) * self.out_dim];
-            let xi = x[i];
-            let mut acc = 0.0;
-            for j in 0..self.out_dim {
-                acc += row[j] * dy[j];
-                drow[j] += xi * dy[j];
-            }
-            dx[i] = acc;
-        }
-        for (dbj, dyj) in self.db.iter_mut().zip(dy) {
-            *dbj += dyj;
-        }
+        self.backward_batch(x, dy, 1, &mut dx);
         dx
+    }
+
+    /// Batched backward: accumulate `dW += xᵀ·dy`, `db += Σ dy[r]` and
+    /// write `dx[r] = dy[r]·Wᵀ` into the scratch slice. Accumulation is in
+    /// ascending batch-row order, bit-identical to per-example calls.
+    pub fn backward_batch(&mut self, x: &[f64], dy: &[f64], batch: usize, dx: &mut [f64]) {
+        debug_assert_eq!(x.len(), batch * self.in_dim);
+        gemm_backward(
+            x,
+            dy,
+            batch,
+            self.in_dim,
+            self.out_dim,
+            &self.w,
+            &mut self.dw,
+            &mut self.db,
+            dx,
+        );
     }
 
     /// Zero accumulated gradients.
@@ -108,11 +114,29 @@ impl Embedding {
         &self.table[id * self.dim..(id + 1) * self.dim]
     }
 
+    /// Gather the embedding rows for `ids` into a row-major batch buffer.
+    pub fn lookup_batch(&self, ids: &[usize], out: &mut [f64]) {
+        debug_assert!(out.len() >= ids.len() * self.dim);
+        for (r, &id) in ids.iter().enumerate() {
+            out[r * self.dim..(r + 1) * self.dim].copy_from_slice(self.lookup(id));
+        }
+    }
+
     /// Accumulate gradient for symbol `id`.
     pub fn backward(&mut self, id: usize, d: &[f64]) {
         let row = &mut self.grad[id * self.dim..(id + 1) * self.dim];
         for (g, dj) in row.iter_mut().zip(d) {
             *g += dj;
+        }
+    }
+
+    /// Scatter-add a batch of gradient rows (`d` is `ids.len() × dim`,
+    /// accumulated in ascending row order — deterministic even when ids
+    /// repeat within the batch).
+    pub fn backward_batch(&mut self, ids: &[usize], d: &[f64]) {
+        debug_assert!(d.len() >= ids.len() * self.dim);
+        for (r, &id) in ids.iter().enumerate() {
+            self.backward(id, &d[r * self.dim..(r + 1) * self.dim]);
         }
     }
 
@@ -123,10 +147,28 @@ impl Embedding {
 
 /// Numerically-stable softmax.
 pub fn softmax(logits: &[f64]) -> Vec<f64> {
-    let max = logits.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-    let exps: Vec<f64> = logits.iter().map(|&z| (z - max).exp()).collect();
-    let sum: f64 = exps.iter().sum();
-    exps.into_iter().map(|e| e / sum).collect()
+    let mut out = logits.to_vec();
+    softmax_rows(&mut out, logits.len());
+    out
+}
+
+/// In-place numerically-stable softmax over each row of a `rows × n`
+/// buffer (row count inferred from the slice length).
+pub fn softmax_rows(buf: &mut [f64], n: usize) {
+    if n == 0 {
+        return;
+    }
+    for row in buf.chunks_mut(n) {
+        let max = row.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let mut sum = 0.0;
+        for v in row.iter_mut() {
+            *v = (*v - max).exp();
+            sum += *v;
+        }
+        for v in row.iter_mut() {
+            *v /= sum;
+        }
+    }
 }
 
 /// ReLU applied element-wise, returning the activated vector.
@@ -134,13 +176,25 @@ pub fn relu(x: &[f64]) -> Vec<f64> {
     x.iter().map(|&v| v.max(0.0)).collect()
 }
 
+/// ReLU applied in place.
+pub fn relu_in_place(x: &mut [f64]) {
+    for v in x.iter_mut() {
+        *v = v.max(0.0);
+    }
+}
+
 /// Gradient of ReLU: passes `dy` where the forward activation was positive.
 pub fn relu_backward(activated: &[f64], dy: &[f64]) -> Vec<f64> {
-    activated
-        .iter()
-        .zip(dy)
-        .map(|(&a, &d)| if a > 0.0 { d } else { 0.0 })
-        .collect()
+    let mut out = vec![0.0; dy.len()];
+    relu_backward_into(activated, dy, &mut out);
+    out
+}
+
+/// [`relu_backward`] into a caller-owned buffer.
+pub fn relu_backward_into(activated: &[f64], dy: &[f64], out: &mut [f64]) {
+    for ((o, &a), &d) in out.iter_mut().zip(activated).zip(dy) {
+        *o = if a > 0.0 { d } else { 0.0 };
+    }
 }
 
 #[cfg(test)]
@@ -183,6 +237,34 @@ mod tests {
     }
 
     #[test]
+    fn dense_batch_forward_equals_per_example() {
+        let d = Dense::new(5, 3, &mut rng());
+        let xs: Vec<f64> = (0..4 * 5).map(|i| (i as f64 * 0.73).sin()).collect();
+        let mut batched = vec![0.0; 4 * 3];
+        d.forward_batch(&xs, 4, &mut batched);
+        for r in 0..4 {
+            assert_eq!(&batched[r * 3..(r + 1) * 3], &d.forward(&xs[r * 5..(r + 1) * 5])[..]);
+        }
+    }
+
+    #[test]
+    fn dense_batch_backward_equals_sequential_accumulation() {
+        let mut a = Dense::new(4, 3, &mut rng());
+        let mut b = a.clone();
+        let xs: Vec<f64> = (0..3 * 4).map(|i| (i as f64 * 0.37).cos()).collect();
+        let dys: Vec<f64> = (0..3 * 3).map(|i| (i as f64 * 0.53).sin()).collect();
+        let mut dx_a = vec![0.0; 3 * 4];
+        a.backward_batch(&xs, &dys, 3, &mut dx_a);
+        let mut dx_b = Vec::new();
+        for r in 0..3 {
+            dx_b.extend(b.backward(&xs[r * 4..(r + 1) * 4], &dys[r * 3..(r + 1) * 3]));
+        }
+        assert_eq!(a.dw, b.dw);
+        assert_eq!(a.db, b.db);
+        assert_eq!(dx_a, dx_b);
+    }
+
+    #[test]
     fn embedding_lookup_and_grad() {
         let mut e = Embedding::new(4, 3, &mut rng());
         let v = e.lookup(2).to_vec();
@@ -191,6 +273,24 @@ mod tests {
         e.backward(2, &[1.0, 0.0, 0.0]);
         assert_eq!(e.grad[2 * 3], 2.0);
         assert_eq!(e.grad[0], 0.0);
+    }
+
+    #[test]
+    fn embedding_batch_ops_match_per_symbol() {
+        let mut e = Embedding::new(5, 2, &mut rng());
+        let ids = [3usize, 1, 3];
+        let mut gathered = vec![0.0; 3 * 2];
+        e.lookup_batch(&ids, &mut gathered);
+        for (r, &id) in ids.iter().enumerate() {
+            assert_eq!(&gathered[r * 2..(r + 1) * 2], e.lookup(id));
+        }
+        let mut e2 = e.clone();
+        let d: Vec<f64> = (0..3 * 2).map(|i| i as f64).collect();
+        e.backward_batch(&ids, &d);
+        for (r, &id) in ids.iter().enumerate() {
+            e2.backward(id, &d[r * 2..(r + 1) * 2]);
+        }
+        assert_eq!(e.grad, e2.grad);
     }
 
     #[test]
@@ -205,6 +305,15 @@ mod tests {
         assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
         assert!(p[0] > p[2]);
         assert!(p.iter().all(|&x| x.is_finite()));
+    }
+
+    #[test]
+    fn softmax_rows_matches_single_row_softmax() {
+        let rows = [1.0, 2.0, 3.0, -1.0, 0.0, 1.0];
+        let mut buf = rows.to_vec();
+        softmax_rows(&mut buf, 3);
+        assert_eq!(&buf[..3], &softmax(&rows[..3])[..]);
+        assert_eq!(&buf[3..], &softmax(&rows[3..])[..]);
     }
 
     #[test]

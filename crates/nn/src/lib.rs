@@ -10,10 +10,11 @@
 
 pub mod adam;
 pub mod layers;
+pub mod matmul;
 pub mod ngram;
 pub mod rnn;
 
 pub use adam::Adam;
 pub use layers::{softmax, Dense, Embedding};
 pub use ngram::NgramModel;
-pub use rnn::{RnnClassifier, RnnConfig};
+pub use rnn::{RnnClassifier, RnnConfig, SequenceExample};

