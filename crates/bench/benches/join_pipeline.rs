@@ -3,7 +3,9 @@
 //! extraction.
 
 use autosuggest_corpus::TableGenerator;
-use autosuggest_features::{enumerate_join_candidates, join_features, CandidateParams};
+use autosuggest_features::{
+    enumerate_join_candidates, join_features, join_features_batch, CandidateParams,
+};
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
@@ -39,6 +41,22 @@ fn bench_features(c: &mut Criterion) {
             black_box(join_features(left, right, cand))
         })
     });
+
+    // The whole candidate pool per iteration: the batch path fetches each
+    // distinct key-column tuple once per side, so this measures the
+    // pair-cache hoist against cands.len() sequential calls.
+    let mut group = c.benchmark_group("join_features_pool");
+    group.bench_function("sequential", |b| {
+        b.iter(|| {
+            for cand in &cands {
+                black_box(join_features(left, right, cand));
+            }
+        })
+    });
+    group.bench_function("batch", |b| {
+        b.iter(|| black_box(join_features_batch(left, right, &cands)))
+    });
+    group.finish();
 }
 
 criterion_group!(benches, bench_enumeration, bench_features);

@@ -26,11 +26,15 @@
 //! section is byte-identical at any `AUTOSUGGEST_THREADS`; only the
 //! `"timing"` section varies run to run.
 //!
-//! `--cache-stats` prints the content-addressed column cache's cumulative
-//! hit/miss/eviction counters after the run (`AUTOSUGGEST_CACHE=0`
-//! disables the cache). With `--timing`, BENCH_repro.json additionally
-//! gains a `"cache"` section with an off/cold/warm featurisation sweep
-//! over the held-out tables.
+//! `--cache-stats` prints the content-addressed cache's cumulative
+//! per-tier counters after the run — column artifacts, key-tuple sets,
+//! pair overlaps, and the optional disk shard store
+//! (`AUTOSUGGEST_CACHE=0` disables the in-memory tiers;
+//! `AUTOSUGGEST_CACHE_DIR` attaches the disk tier). With `--timing`,
+//! BENCH_repro.json additionally gains a `"cache"` section with per-tier
+//! counters and an off/cold/warm/disk-warm featurisation sweep over the
+//! held-out tables (a throwaway shard directory is attached for the
+//! sweep when none is configured).
 //!
 //! `--gbdt-hist` trains every GBDT with the histogram split kernel (≤256
 //! bins, sibling subtraction) instead of the exact presorted scan. Tables
@@ -67,17 +71,23 @@ const TABLES: &[(&str, TableFn)] = &[
     ("ablation-join", tables::ablations::join_knockout),
 ];
 
-/// The featurisation workload for the cache-on/off sweep: enumerate join
-/// candidates for every held-out join case and score every held-out groupby
-/// table. Returns a work count so the three sweep phases can assert they
-/// did identical work.
+/// The featurisation workload for the cache sweep: enumerate join
+/// candidates for every held-out join case, extract join features for the
+/// full candidate pool (exercising the pair/tuple tiers), and score every
+/// held-out groupby table. Returns a work count so the sweep phases can
+/// assert they did identical work.
 fn featurise_workload(ctx: &ReproContext) -> usize {
     let params = &ctx.system.config.candidates;
     let mut work = 0usize;
     for inv in &ctx.system.test.join {
         if inv.inputs.len() >= 2 {
+            let cands = autosuggest_features::enumerate_join_candidates(
+                &inv.inputs[0],
+                &inv.inputs[1],
+                params,
+            );
             work +=
-                autosuggest_features::enumerate_join_candidates(&inv.inputs[0], &inv.inputs[1], params)
+                autosuggest_features::join_features_batch(&inv.inputs[0], &inv.inputs[1], &cands)
                     .len();
         }
     }
@@ -195,16 +205,45 @@ fn main() {
     // evaluation). Snapshotted before the timing sweep below so the sweep's
     // own lookups don't pollute the run's numbers.
     let cache = autosuggest_cache::ColumnCache::global();
-    let run_stats = cache.stats();
+    let pair_cache = autosuggest_cache::PairCache::global();
+    let run_tiers = autosuggest_cache::tier_stats();
+    let run_stats = run_tiers.column;
     if cache_stats {
+        let fmt = |s: autosuggest_cache::CacheStats| {
+            format!(
+                "{} hits / {} misses / {} evictions (hit rate {:.1}%)",
+                s.hits,
+                s.misses,
+                s.evictions,
+                s.hit_rate() * 100.0
+            )
+        };
         eprintln!(
-            "[repro] cache: enabled={} {} hits / {} misses / {} evictions (hit rate {:.1}%), {} interned columns",
+            "[repro] cache column: enabled={} {}, {} interned columns",
             cache.enabled(),
-            run_stats.hits,
-            run_stats.misses,
-            run_stats.evictions,
-            run_stats.hit_rate() * 100.0,
+            fmt(run_tiers.column),
             cache.len(),
+        );
+        let (tuple_len, pair_len) = pair_cache.len();
+        eprintln!(
+            "[repro] cache tuple:  enabled={} {}, {tuple_len} interned tuple sets",
+            pair_cache.enabled(),
+            fmt(run_tiers.tuple),
+        );
+        eprintln!(
+            "[repro] cache pair:   {}, {pair_len} memoized overlaps",
+            fmt(run_tiers.pair)
+        );
+        let d = run_tiers.disk;
+        eprintln!(
+            "[repro] cache disk:   attached={} {} hits / {} misses / {} corrupt / {} writes / {} evictions (hit rate {:.1}%)",
+            cache.disk().is_some(),
+            d.hits,
+            d.misses,
+            d.corrupt,
+            d.writes,
+            d.evictions,
+            d.hit_rate() * 100.0,
         );
     }
 
@@ -281,29 +320,77 @@ fn main() {
                 "bins_built": counter("gbdt.bins_built"),
             },
         });
-        // Cache-on/off timing comparison: the same featurisation workload
-        // (join candidate enumeration + groupby scoring over the held-out
-        // tables) is run three times — cache disabled, enabled-but-cold,
-        // and enabled-and-warm. Runs after the obs snapshot so the
-        // deterministic trace section is unaffected.
+        // Cache timing comparison: the same featurisation workload (join
+        // candidate enumeration + groupby scoring over the held-out tables)
+        // is run four times — cache disabled, enabled-but-cold,
+        // enabled-and-warm, and disk-warm (memory cleared, shards kept).
+        // Runs after the obs snapshot so the deterministic trace section is
+        // unaffected. When no AUTOSUGGEST_CACHE_DIR is configured, a
+        // throwaway directory is attached for the sweep so the disk-warm
+        // phase is always measured, then detached and removed.
         let was_enabled = cache.enabled();
-        cache.set_enabled(false);
+        let pair_was_enabled = pair_cache.enabled();
+        let had_disk = cache.disk().is_some();
+        let tmp_disk_dir = if had_disk {
+            None
+        } else {
+            let dir = std::env::temp_dir()
+                .join(format!("autosuggest-sweep-{}", std::process::id()));
+            let _ = std::fs::remove_dir_all(&dir);
+            match autosuggest_cache::DiskCache::open(
+                &dir,
+                autosuggest_cache::DEFAULT_DISK_BUDGET,
+            ) {
+                Ok(d) => {
+                    autosuggest_cache::attach_disk(Some(d));
+                    Some(dir)
+                }
+                Err(e) => {
+                    eprintln!("[repro] sweep disk tier unavailable ({e}); skipping disk-warm");
+                    None
+                }
+            }
+        };
+        autosuggest_cache::set_all_enabled(false);
         let t = Instant::now();
         let work_off = featurise_workload(&ctx);
         let off_seconds = t.elapsed().as_secs_f64();
-        cache.set_enabled(true);
-        cache.clear();
+        autosuggest_cache::set_all_enabled(true);
+        autosuggest_cache::clear_memory();
+        let before_cold = autosuggest_cache::tier_stats();
         let t = Instant::now();
         let work_cold = featurise_workload(&ctx);
         let cold_seconds = t.elapsed().as_secs_f64();
-        let cold_stats = cache.stats();
+        let cold_tiers = autosuggest_cache::tier_stats();
         let t = Instant::now();
         let work_warm = featurise_workload(&ctx);
         let warm_seconds = t.elapsed().as_secs_f64();
-        let warm_stats = cache.stats().since(&cold_stats);
+        let warm_tiers = autosuggest_cache::tier_stats().since(&cold_tiers);
+        // Disk-warm: drop every in-memory entry; shards written during the
+        // cold phase satisfy the misses without recomputation.
+        autosuggest_cache::clear_memory();
+        let before_disk_warm = autosuggest_cache::tier_stats();
+        let t = Instant::now();
+        let work_disk = featurise_workload(&ctx);
+        let disk_warm_seconds = t.elapsed().as_secs_f64();
+        let disk_tiers = autosuggest_cache::tier_stats().since(&before_disk_warm);
         cache.set_enabled(was_enabled);
+        pair_cache.set_enabled(pair_was_enabled);
+        if let Some(dir) = &tmp_disk_dir {
+            autosuggest_cache::attach_disk(autosuggest_cache::default_disk());
+            let _ = std::fs::remove_dir_all(dir);
+        }
         assert_eq!(work_off, work_cold);
         assert_eq!(work_off, work_warm);
+        assert_eq!(work_off, work_disk);
+        let tier_json = |s: autosuggest_cache::CacheStats| {
+            json!({"hits": s.hits, "misses": s.misses, "evictions": s.evictions,
+                   "hit_rate": s.hit_rate()})
+        };
+        let disk_json = |d: autosuggest_cache::DiskStats| {
+            json!({"hits": d.hits, "misses": d.misses, "evictions": d.evictions,
+                   "corrupt": d.corrupt, "writes": d.writes, "hit_rate": d.hit_rate()})
+        };
         let cache_report = json!({
             "enabled_during_run": was_enabled,
             "run": {
@@ -312,18 +399,45 @@ fn main() {
                 "evictions": run_stats.evictions,
                 "hit_rate": run_stats.hit_rate(),
             },
+            "tiers": {
+                "column": tier_json(run_tiers.column),
+                "tuple": tier_json(run_tiers.tuple),
+                "pair": tier_json(run_tiers.pair),
+                "disk": disk_json(run_tiers.disk),
+            },
             "sweep": {
                 "workload_units": work_off as u64,
                 "off_seconds": off_seconds,
                 "cold_seconds": cold_seconds,
                 "warm_seconds": warm_seconds,
+                "disk_warm_seconds": disk_warm_seconds,
                 "warm_speedup_vs_off": if warm_seconds > 0.0 { off_seconds / warm_seconds } else { 0.0 },
-                "warm_hit_rate": warm_stats.hit_rate(),
+                "disk_warm_speedup_vs_cold": if disk_warm_seconds > 0.0 { cold_seconds / disk_warm_seconds } else { 0.0 },
+                "warm_hit_rate": warm_tiers.column.hit_rate(),
+                "cold": {
+                    "column": tier_json(cold_tiers.column.since(&before_cold.column)),
+                    "tuple": tier_json(cold_tiers.tuple.since(&before_cold.tuple)),
+                    "pair": tier_json(cold_tiers.pair.since(&before_cold.pair)),
+                    "disk": disk_json(cold_tiers.disk.since(&before_cold.disk)),
+                },
+                "warm": {
+                    "column": tier_json(warm_tiers.column),
+                    "tuple": tier_json(warm_tiers.tuple),
+                    "pair": tier_json(warm_tiers.pair),
+                    "disk": disk_json(warm_tiers.disk),
+                },
+                "disk_warm": {
+                    "column": tier_json(disk_tiers.column),
+                    "tuple": tier_json(disk_tiers.tuple),
+                    "pair": tier_json(disk_tiers.pair),
+                    "disk": disk_json(disk_tiers.disk),
+                },
             },
         });
         eprintln!(
-            "[repro] cache sweep: off {off_seconds:.3}s, cold {cold_seconds:.3}s, warm {warm_seconds:.3}s (warm hit rate {:.1}%)",
-            warm_stats.hit_rate() * 100.0
+            "[repro] cache sweep: off {off_seconds:.3}s, cold {cold_seconds:.3}s, warm {warm_seconds:.3}s, disk-warm {disk_warm_seconds:.3}s (warm hit rate {:.1}%, disk-warm disk hit rate {:.1}%)",
+            warm_tiers.column.hit_rate() * 100.0,
+            disk_tiers.disk.hit_rate() * 100.0,
         );
 
         let report = json!({

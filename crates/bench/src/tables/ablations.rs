@@ -3,7 +3,9 @@
 use super::{render_table, ReproContext, TableRow};
 use autosuggest_core::join::{candidates_with_truth, ground_truth_candidate};
 use autosuggest_core::pivot::{melt_ground_truth, pivot_ground_truth};
-use autosuggest_features::{join_features, JOIN_FEATURE_GROUPS, JOIN_FEATURE_NAMES};
+use autosuggest_features::{
+    join_features_batch, JoinCandidate, JOIN_FEATURE_GROUPS, JOIN_FEATURE_NAMES,
+};
 use autosuggest_gbdt::{Dataset, Gbdt};
 use autosuggest_graph::{ampt_exact, ampt_min_cut, cmut_exhaustive, cmut_greedy};
 use autosuggest_ranking::mean;
@@ -114,6 +116,7 @@ pub fn join_knockout(ctx: &ReproContext) -> String {
             let Some(truth) = ground_truth_candidate(inv) else { continue };
             let cands =
                 candidates_with_truth(&inv.inputs[0], &inv.inputs[1], &truth, cand_params);
+            let mut kept: Vec<JoinCandidate> = Vec::with_capacity(cands.len());
             let mut negs = 0;
             for cand in &cands {
                 let is_truth = *cand == truth;
@@ -123,9 +126,14 @@ pub fn join_knockout(ctx: &ReproContext) -> String {
                         continue;
                     }
                 }
-                rows.push(mask(join_features(&inv.inputs[0], &inv.inputs[1], cand).values));
+                kept.push(cand.clone());
                 labels.push(if is_truth { 1.0 } else { 0.0 });
             }
+            rows.extend(
+                join_features_batch(&inv.inputs[0], &inv.inputs[1], &kept)
+                    .into_iter()
+                    .map(|f| mask(f.values)),
+            );
         }
         let names = JOIN_FEATURE_NAMES.iter().map(|s| s.to_string()).collect();
         let data = Dataset::new(names, rows, labels).expect("rectangular");
@@ -136,16 +144,17 @@ pub fn join_knockout(ctx: &ReproContext) -> String {
             let Some(truth) = ground_truth_candidate(inv) else { continue };
             let cands =
                 candidates_with_truth(&inv.inputs[0], &inv.inputs[1], &truth, cand_params);
-            let best = cands
+            // Featurise the pool once (batch path hashes each distinct key
+            // tuple once per table) and compare predicted scores; `max_by`
+            // tie-breaking (last max wins) matches the previous pairwise form.
+            let scores: Vec<f64> = join_features_batch(&inv.inputs[0], &inv.inputs[1], &cands)
+                .into_iter()
+                .map(|f| model.predict(&mask(f.values)))
+                .collect();
+            let best = scores
                 .iter()
                 .enumerate()
-                .max_by(|(_, a), (_, b)| {
-                    let sa = model
-                        .predict(&mask(join_features(&inv.inputs[0], &inv.inputs[1], a).values));
-                    let sb = model
-                        .predict(&mask(join_features(&inv.inputs[0], &inv.inputs[1], b).values));
-                    sa.total_cmp(&sb)
-                })
+                .max_by(|(_, a), (_, b)| a.total_cmp(b))
                 .map(|(i, _)| i)
                 .expect("candidates non-empty");
             hits.push(if cands[best] == truth { 1.0 } else { 0.0 });

@@ -1,0 +1,777 @@
+//! Persistent on-disk artifact shards.
+//!
+//! Content addressing makes cross-process persistence safe: a shard file is
+//! named by the 128-bit fingerprint of its content key, is written once,
+//! and is never mutated — a warm directory turns the in-memory cache's
+//! warm-featurisation speedup into a cold-start-free serving property
+//! (every new process starts "disk-warm"). Layout under
+//! `AUTOSUGGEST_CACHE_DIR`:
+//!
+//! ```text
+//! $AUTOSUGGEST_CACHE_DIR/
+//!   col/<fingerprint:032x>.shard   column artifacts (stats + base sketch)
+//!   tup/<fingerprint:032x>.shard   key-tuple sets (sorted distinct hashes)
+//! ```
+//!
+//! # Format and corruption safety
+//!
+//! Shards use a hand-rolled (vendored, std-only) little-endian codec — no
+//! mmap, plain `fs::read` — framed as `magic · version · kind · payload ·
+//! fnv64 checksum`. Floats are stored as exact IEEE bit patterns
+//! (`f64::to_bits`), so a disk-warm run is byte-identical to a cold one.
+//! Every read is length-checked, checksummed, and semantically validated
+//! (sorted sketch mins, consistent counts); any failure deletes the bad
+//! shard, counts `cache.disk.corrupt`, and falls back to recomputation —
+//! a truncated or bit-flipped file can cost at most one recompute.
+//!
+//! # Eviction and determinism
+//!
+//! The directory is bounded by a byte budget (`AUTOSUGGEST_CACHE_DISK_BUDGET`,
+//! default 256 MiB). Eviction is LRU at file granularity ordered by
+//! `(mtime, name)` over the files that pre-existed this process; files read
+//! or written by the current process are pinned and never evicted within
+//! it. This keeps the disk counters thread-invariant: lookups happen only
+//! on in-memory misses (themselves deterministic via single-flight), each
+//! distinct key is probed at most once per process, pinned files cannot
+//! disappear mid-run, and the number of evictions is the minimal prefix of
+//! the fixed victim order whose removal brings the directory back under
+//! budget — a pure function of the key set, not of scheduling.
+
+use crate::pair::KeyTupleSet;
+use crate::{artifacts, ColumnArtifacts, ColumnFingerprint, MinHashSketch};
+use std::collections::{HashSet, VecDeque};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// Obs counter names for the disk tier (deterministic section).
+pub const DISK_HITS_COUNTER: &str = "cache.disk.hits";
+pub const DISK_MISSES_COUNTER: &str = "cache.disk.misses";
+pub const DISK_EVICTIONS_COUNTER: &str = "cache.disk.evictions";
+pub const DISK_CORRUPT_COUNTER: &str = "cache.disk.corrupt";
+pub const DISK_WRITES_COUNTER: &str = "cache.disk.writes";
+
+/// Default directory byte budget when `AUTOSUGGEST_CACHE_DISK_BUDGET` is
+/// unset: 256 MiB.
+pub const DEFAULT_DISK_BUDGET: u64 = 256 * 1024 * 1024;
+
+const MAGIC: [u8; 4] = *b"ASGC";
+const VERSION: u16 = 1;
+const KIND_COLUMN: u8 = 1;
+const KIND_TUPLES: u8 = 2;
+
+/// Cumulative disk-tier counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DiskStats {
+    pub hits: u64,
+    pub misses: u64,
+    pub evictions: u64,
+    pub corrupt: u64,
+    pub writes: u64,
+}
+
+impl DiskStats {
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.misses + self.corrupt
+    }
+
+    pub fn hit_rate(&self) -> f64 {
+        if self.lookups() == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.lookups() as f64
+        }
+    }
+
+    /// Counter deltas since an earlier snapshot of the same cache.
+    pub fn since(&self, earlier: &DiskStats) -> DiskStats {
+        DiskStats {
+            hits: self.hits.saturating_sub(earlier.hits),
+            misses: self.misses.saturating_sub(earlier.misses),
+            evictions: self.evictions.saturating_sub(earlier.evictions),
+            corrupt: self.corrupt.saturating_sub(earlier.corrupt),
+            writes: self.writes.saturating_sub(earlier.writes),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Codec
+// ---------------------------------------------------------------------------
+
+struct Writer(Vec<u8>);
+
+impl Writer {
+    fn new(kind: u8) -> Writer {
+        let mut w = Writer(Vec::with_capacity(256));
+        w.0.extend_from_slice(&MAGIC);
+        w.0.extend_from_slice(&VERSION.to_le_bytes());
+        w.0.push(kind);
+        w
+    }
+
+    fn u8(&mut self, v: u8) {
+        self.0.push(v);
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn u128(&mut self, v: u128) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn f64_bits(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    fn finish(mut self) -> Vec<u8> {
+        let sum = fnv64(&self.0);
+        self.u64(sum);
+        self.0
+    }
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Validate the frame (magic, version, kind, checksum) and position the
+    /// cursor at the payload.
+    fn open(buf: &'a [u8], kind: u8) -> Option<Reader<'a>> {
+        // Frame floor: magic(4) + version(2) + kind(1) + checksum(8).
+        if buf.len() < 15 || buf[..4] != MAGIC {
+            return None;
+        }
+        let version = u16::from_le_bytes([buf[4], buf[5]]);
+        if version != VERSION || buf[6] != kind {
+            return None;
+        }
+        let (body, sum_bytes) = buf.split_at(buf.len() - 8);
+        let stored = u64::from_le_bytes(sum_bytes.try_into().ok()?);
+        if fnv64(body) != stored {
+            return None;
+        }
+        Some(Reader { buf: body, pos: 7 })
+    }
+
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.pos.checked_add(n)?;
+        if end > self.buf.len() {
+            return None;
+        }
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Some(s)
+    }
+
+    fn u8(&mut self) -> Option<u8> {
+        Some(self.take(1)?[0])
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        Some(u64::from_le_bytes(self.take(8)?.try_into().ok()?))
+    }
+
+    fn u128(&mut self) -> Option<u128> {
+        Some(u128::from_le_bytes(self.take(16)?.try_into().ok()?))
+    }
+
+    fn usize(&mut self) -> Option<usize> {
+        usize::try_from(self.u64()?).ok()
+    }
+
+    fn f64_bits(&mut self) -> Option<f64> {
+        Some(f64::from_bits(self.u64()?))
+    }
+
+    /// True when the payload was consumed exactly (no trailing garbage).
+    fn done(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+}
+
+fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Serialize column artifacts (exact: floats as IEEE bit patterns).
+pub fn encode_column(fp: ColumnFingerprint, art: &ColumnArtifacts) -> Vec<u8> {
+    let mut w = Writer::new(KIND_COLUMN);
+    w.u128(fp.0);
+    w.u64(art.len() as u64);
+    w.u64(art.null_count() as u64);
+    w.u64(art.distinct_count() as u64);
+    w.u64(art.peak_frequency() as u64);
+    match art.min_max() {
+        Some((lo, hi)) => {
+            w.u8(1);
+            w.f64_bits(lo);
+            w.f64_bits(hi);
+        }
+        None => w.u8(0),
+    }
+    w.u8(artifacts::dtype_slot(art.dtype()) as u8);
+    for &c in art.dtype_counts() {
+        w.u64(c);
+    }
+    let sk = art.sketch();
+    w.u64(sk.k() as u64);
+    w.u64(sk.cardinality() as u64);
+    w.u64(sk.mins().len() as u64);
+    for &m in sk.mins() {
+        w.u64(m);
+    }
+    w.finish()
+}
+
+/// Decode column artifacts; `None` on any framing, checksum, or semantic
+/// violation (including a fingerprint that does not match the requested
+/// key — a misplaced file must not satisfy a foreign lookup).
+pub fn decode_column(bytes: &[u8], want: ColumnFingerprint) -> Option<ColumnArtifacts> {
+    let mut r = Reader::open(bytes, KIND_COLUMN)?;
+    if r.u128()? != want.0 {
+        return None;
+    }
+    let len = r.usize()?;
+    let null_count = r.usize()?;
+    let distinct_count = r.usize()?;
+    let peak_frequency = r.usize()?;
+    let min_max = match r.u8()? {
+        0 => None,
+        1 => Some((r.f64_bits()?, r.f64_bits()?)),
+        _ => return None,
+    };
+    let dtype = artifacts::dtype_from_slot(r.u8()? as usize)?;
+    let mut dtype_counts = [0u64; 6];
+    for c in &mut dtype_counts {
+        *c = r.u64()?;
+    }
+    let k = r.usize()?;
+    let cardinality = r.usize()?;
+    let n_mins = r.usize()?;
+    if n_mins > bytes.len() / 8 {
+        return None; // length field larger than the file itself
+    }
+    let mut mins = Vec::with_capacity(n_mins);
+    for _ in 0..n_mins {
+        mins.push(r.u64()?);
+    }
+    if !r.done() {
+        return None;
+    }
+    let sketch = MinHashSketch::from_parts(k, mins, cardinality)?;
+    ColumnArtifacts::from_parts(
+        len,
+        null_count,
+        distinct_count,
+        min_max,
+        dtype,
+        dtype_counts,
+        peak_frequency,
+        sketch,
+    )
+}
+
+/// Serialize a key-tuple set.
+pub fn encode_tuples(set: &KeyTupleSet) -> Vec<u8> {
+    let mut w = Writer::new(KIND_TUPLES);
+    w.u128(set.fingerprint().0);
+    w.u64(set.width() as u64);
+    w.u64(set.len() as u64);
+    for &h in set.hashes() {
+        w.u64(h);
+    }
+    w.finish()
+}
+
+/// Decode a key-tuple set; `None` on any violation.
+pub fn decode_tuples(bytes: &[u8], want: ColumnFingerprint) -> Option<KeyTupleSet> {
+    let mut r = Reader::open(bytes, KIND_TUPLES)?;
+    if r.u128()? != want.0 {
+        return None;
+    }
+    let width = r.usize()?;
+    let n = r.usize()?;
+    if n > bytes.len() / 8 {
+        return None;
+    }
+    let mut hashes = Vec::with_capacity(n);
+    for _ in 0..n {
+        hashes.push(r.u64()?);
+    }
+    if !r.done() {
+        return None;
+    }
+    KeyTupleSet::from_parts(want, width, hashes)
+}
+
+// ---------------------------------------------------------------------------
+// Store
+// ---------------------------------------------------------------------------
+
+/// Outcome of decoding one shard file.
+enum Loaded<T> {
+    Hit(T),
+    /// Valid shard, but insufficient for the request (undersized sketch).
+    TooSmall,
+    /// Framing/checksum/semantic failure: delete and recompute.
+    Bad,
+}
+
+struct DiskState {
+    /// Total bytes currently accounted under the root (shards only).
+    bytes_total: u64,
+    /// Pre-existing files in `(mtime, path)` order — the fixed eviction
+    /// queue. Files created by this process are pinned instead and are
+    /// never eviction candidates within it.
+    victims: VecDeque<(PathBuf, u64)>,
+    /// Files read or written by this process (LRU-touched): never evicted.
+    pinned: HashSet<PathBuf>,
+    /// Monotonic suffix for unique temp-file names.
+    tmp_counter: u64,
+}
+
+/// A write-once, content-addressed shard directory shared by the column and
+/// tuple-set tiers.
+pub struct DiskCache {
+    root: PathBuf,
+    budget_bytes: u64,
+    state: Mutex<DiskState>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    corrupt: AtomicU64,
+    writes: AtomicU64,
+}
+
+fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+impl DiskCache {
+    /// Open (creating if needed) a shard directory with the given byte
+    /// budget. Scans existing shards once to seed the size ledger and the
+    /// `(mtime, name)`-ordered eviction queue.
+    pub fn open(root: &Path, budget_bytes: u64) -> std::io::Result<Arc<DiskCache>> {
+        std::fs::create_dir_all(root.join("col"))?;
+        std::fs::create_dir_all(root.join("tup"))?;
+        let mut existing: Vec<(std::time::SystemTime, PathBuf, u64)> = Vec::new();
+        for sub in ["col", "tup"] {
+            for entry in std::fs::read_dir(root.join(sub))? {
+                let entry = entry?;
+                let path = entry.path();
+                let name = entry.file_name();
+                let name = name.to_string_lossy().into_owned();
+                let meta = entry.metadata()?;
+                if !meta.is_file() {
+                    continue;
+                }
+                if !name.ends_with(".shard") {
+                    // Stale temp file from an interrupted writer: reclaim.
+                    let _ = std::fs::remove_file(&path);
+                    continue;
+                }
+                let mtime = meta.modified().unwrap_or(std::time::SystemTime::UNIX_EPOCH);
+                existing.push((mtime, path, meta.len()));
+            }
+        }
+        existing.sort_by(|a, b| (a.0, &a.1).cmp(&(b.0, &b.1)));
+        let bytes_total = existing.iter().map(|e| e.2).sum();
+        let victims = existing.into_iter().map(|(_, p, s)| (p, s)).collect();
+        Ok(Arc::new(DiskCache {
+            root: root.to_path_buf(),
+            budget_bytes: budget_bytes.max(1),
+            state: Mutex::new(DiskState {
+                bytes_total,
+                victims,
+                pinned: HashSet::new(),
+                tmp_counter: 0,
+            }),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            corrupt: AtomicU64::new(0),
+            writes: AtomicU64::new(0),
+        }))
+    }
+
+    /// Build from `AUTOSUGGEST_CACHE_DIR` / `AUTOSUGGEST_CACHE_DISK_BUDGET`;
+    /// `None` when the dir is unset, empty, or cannot be opened (the cache
+    /// then runs memory-only — persistence is always best-effort).
+    pub fn from_env() -> Option<Arc<DiskCache>> {
+        let dir = std::env::var("AUTOSUGGEST_CACHE_DIR").ok()?;
+        let dir = dir.trim();
+        if dir.is_empty() {
+            return None;
+        }
+        let budget = std::env::var("AUTOSUGGEST_CACHE_DISK_BUDGET")
+            .ok()
+            .and_then(|v| v.trim().parse::<u64>().ok())
+            .unwrap_or(DEFAULT_DISK_BUDGET);
+        match DiskCache::open(Path::new(dir), budget) {
+            Ok(d) => Some(d),
+            Err(e) => {
+                eprintln!("[autosuggest-cache] cannot open AUTOSUGGEST_CACHE_DIR {dir:?}: {e}; running memory-only");
+                None
+            }
+        }
+    }
+
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    pub fn budget_bytes(&self) -> u64 {
+        self.budget_bytes
+    }
+
+    /// Bytes currently accounted under the root.
+    pub fn bytes_total(&self) -> u64 {
+        lock_recover(&self.state).bytes_total
+    }
+
+    pub fn stats(&self) -> DiskStats {
+        DiskStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            corrupt: self.corrupt.load(Ordering::Relaxed),
+            writes: self.writes.load(Ordering::Relaxed),
+        }
+    }
+
+    fn column_path(&self, fp: ColumnFingerprint) -> PathBuf {
+        self.root.join("col").join(format!("{fp}.shard"))
+    }
+
+    fn tuples_path(&self, fp: ColumnFingerprint) -> PathBuf {
+        self.root.join("tup").join(format!("{fp}.shard"))
+    }
+
+    /// Load column artifacts for `fp` whose sketch is at least `min_k`
+    /// wide. Counts a hit, miss, or corrupt; corrupt shards are deleted so
+    /// the subsequent store can rewrite them.
+    pub fn load_column(&self, fp: ColumnFingerprint, min_k: usize) -> Option<ColumnArtifacts> {
+        let path = self.column_path(fp);
+        self.load_with(&path, |bytes| match decode_column(bytes, fp) {
+            // A valid shard whose sketch is narrower than requested is a
+            // plain miss (the caller recomputes and overwrites), not
+            // corruption.
+            Some(art) if art.sketch().k() < min_k => Loaded::TooSmall,
+            Some(art) => Loaded::Hit(art),
+            None => Loaded::Bad,
+        })
+    }
+
+    /// Load a key-tuple set for `fp`.
+    pub fn load_tuples(&self, fp: ColumnFingerprint) -> Option<KeyTupleSet> {
+        let path = self.tuples_path(fp);
+        self.load_with(&path, |bytes| match decode_tuples(bytes, fp) {
+            Some(set) => Loaded::Hit(set),
+            None => Loaded::Bad,
+        })
+    }
+
+    fn load_with<T>(&self, path: &Path, decode: impl FnOnce(&[u8]) -> Loaded<T>) -> Option<T> {
+        let bytes = match std::fs::read(path) {
+            Ok(b) => b,
+            Err(_) => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                autosuggest_obs::counter_add(DISK_MISSES_COUNTER, 1);
+                return None;
+            }
+        };
+        match decode(&bytes) {
+            Loaded::Hit(v) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                autosuggest_obs::counter_add(DISK_HITS_COUNTER, 1);
+                lock_recover(&self.state).pinned.insert(path.to_path_buf());
+                Some(v)
+            }
+            Loaded::TooSmall => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                autosuggest_obs::counter_add(DISK_MISSES_COUNTER, 1);
+                None
+            }
+            Loaded::Bad => {
+                // Corrupted, truncated, undersized, or misfiled shard:
+                // delete it and fall back to recomputation.
+                self.corrupt.fetch_add(1, Ordering::Relaxed);
+                autosuggest_obs::counter_add(DISK_CORRUPT_COUNTER, 1);
+                let mut st = lock_recover(&self.state);
+                if std::fs::remove_file(path).is_ok() {
+                    st.bytes_total = st.bytes_total.saturating_sub(bytes.len() as u64);
+                    if let Some(idx) = st.victims.iter().position(|(p, _)| p == path) {
+                        st.victims.remove(idx);
+                    }
+                }
+                None
+            }
+        }
+    }
+
+    /// Persist column artifacts (write-once unless `overwrite`, used when a
+    /// sketch is upgraded to a larger `k`).
+    pub fn store_column(&self, fp: ColumnFingerprint, art: &ColumnArtifacts, overwrite: bool) {
+        let path = self.column_path(fp);
+        self.store_bytes(&path, encode_column(fp, art), overwrite);
+    }
+
+    /// Persist a key-tuple set (write-once).
+    pub fn store_tuples(&self, set: &KeyTupleSet) {
+        let path = self.tuples_path(set.fingerprint());
+        self.store_bytes(&path, encode_tuples(set), false);
+    }
+
+    fn store_bytes(&self, path: &Path, bytes: Vec<u8>, overwrite: bool) {
+        let mut st = lock_recover(&self.state);
+        let existing = std::fs::metadata(path).ok().map(|m| m.len());
+        if existing.is_some() && !overwrite {
+            st.pinned.insert(path.to_path_buf());
+            return;
+        }
+        st.tmp_counter += 1;
+        let tmp = path.with_extension(format!("tmp{}-{}", std::process::id(), st.tmp_counter));
+        // Write + atomic rename: readers can never observe a torn shard.
+        if std::fs::write(&tmp, &bytes).is_err() || std::fs::rename(&tmp, path).is_err() {
+            let _ = std::fs::remove_file(&tmp);
+            return;
+        }
+        st.bytes_total = st
+            .bytes_total
+            .saturating_sub(existing.unwrap_or(0))
+            .saturating_add(bytes.len() as u64);
+        st.pinned.insert(path.to_path_buf());
+        if let Some(idx) = st.victims.iter().position(|(p, _)| p == path) {
+            st.victims.remove(idx); // replaced a pre-existing file in place
+        }
+        self.writes.fetch_add(1, Ordering::Relaxed);
+        autosuggest_obs::counter_add(DISK_WRITES_COUNTER, 1);
+        // Enforce the byte budget against pre-existing, unpinned shards in
+        // the fixed (mtime, name) order.
+        while st.bytes_total > self.budget_bytes {
+            let Some((victim, size)) = st.victims.pop_front() else {
+                break; // only this process's pinned shards remain
+            };
+            if st.pinned.contains(&victim) {
+                continue;
+            }
+            if std::fs::remove_file(&victim).is_ok() {
+                st.bytes_total = st.bytes_total.saturating_sub(size);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+                autosuggest_obs::counter_add(DISK_EVICTIONS_COUNTER, 1);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BASE_SKETCH_K;
+    use autosuggest_dataframe::{Column, DataFrame, Value};
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "autosuggest-diskcache-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn mixed_column() -> Column {
+        let mut vals: Vec<Value> = (0..300).map(Value::Int).collect();
+        vals.push(Value::Null);
+        vals.push(Value::Float(2.75));
+        vals.push(Value::Str("x".into()));
+        Column::new("c", vals)
+    }
+
+    #[test]
+    fn column_roundtrip_is_bit_identical() {
+        let col = mixed_column();
+        let fp = crate::column_fingerprint(&col);
+        let art = ColumnArtifacts::compute(&col, 64);
+        let decoded = decode_column(&encode_column(fp, &art), fp).unwrap();
+        assert_eq!(decoded.len(), art.len());
+        assert_eq!(decoded.null_count(), art.null_count());
+        assert_eq!(decoded.distinct_count(), art.distinct_count());
+        assert_eq!(
+            decoded.min_max().map(|(a, b)| (a.to_bits(), b.to_bits())),
+            art.min_max().map(|(a, b)| (a.to_bits(), b.to_bits()))
+        );
+        assert_eq!(decoded.dtype(), art.dtype());
+        assert_eq!(decoded.dtype_counts(), art.dtype_counts());
+        assert_eq!(decoded.peak_frequency(), art.peak_frequency());
+        assert_eq!(decoded.sketch().k(), art.sketch().k());
+        assert_eq!(decoded.sketch().mins(), art.sketch().mins());
+        assert_eq!(decoded.sketch().cardinality(), art.sketch().cardinality());
+    }
+
+    #[test]
+    fn tuples_roundtrip_is_bit_identical() {
+        let df = DataFrame::from_columns(vec![
+            ("a", (0..100).map(|i| Value::Int(i % 37)).collect()),
+            ("b", (0..100).map(|i| Value::Int(i % 11)).collect()),
+        ])
+        .unwrap();
+        let set = KeyTupleSet::compute(&df, &[0, 1]);
+        let decoded = decode_tuples(&encode_tuples(&set), set.fingerprint()).unwrap();
+        assert_eq!(decoded, set);
+    }
+
+    #[test]
+    fn truncated_and_corrupted_shards_are_rejected() {
+        let col = mixed_column();
+        let fp = crate::column_fingerprint(&col);
+        let art = ColumnArtifacts::compute(&col, 64);
+        let good = encode_column(fp, &art);
+        assert!(decode_column(&good, fp).is_some());
+        // Every truncation point fails cleanly.
+        for cut in [0, 3, 7, 14, 15, good.len() / 2, good.len() - 1] {
+            assert!(decode_column(&good[..cut], fp).is_none(), "cut at {cut} accepted");
+        }
+        // Every single-byte flip is caught by the checksum (or framing).
+        for i in (0..good.len()).step_by(13) {
+            let mut bad = good.clone();
+            bad[i] ^= 0x40;
+            assert!(decode_column(&bad, fp).is_none(), "flip at {i} accepted");
+        }
+        // A valid shard under the wrong key must not decode.
+        assert!(decode_column(&good, ColumnFingerprint(fp.0 ^ 1)).is_none());
+        // Same for tuple shards.
+        let df = DataFrame::from_columns(vec![("a", (0..50).map(Value::Int).collect())])
+            .unwrap();
+        let set = KeyTupleSet::compute(&df, &[0]);
+        let good_t = encode_tuples(&set);
+        assert!(decode_tuples(&good_t[..good_t.len() - 2], set.fingerprint()).is_none());
+        let mut bad_t = good_t.clone();
+        bad_t[good_t.len() / 2] ^= 0x01;
+        assert!(decode_tuples(&bad_t, set.fingerprint()).is_none());
+    }
+
+    #[test]
+    fn store_load_cycle_counts_and_pins() {
+        let dir = tmpdir("cycle");
+        let disk = DiskCache::open(&dir, DEFAULT_DISK_BUDGET).unwrap();
+        let col = mixed_column();
+        let fp = crate::column_fingerprint(&col);
+        // Miss before any store.
+        assert!(disk.load_column(fp, 1).is_none());
+        let art = ColumnArtifacts::compute(&col, BASE_SKETCH_K);
+        disk.store_column(fp, &art, false);
+        // Second store of the same key is write-once (no second write).
+        disk.store_column(fp, &art, false);
+        let loaded = disk.load_column(fp, BASE_SKETCH_K).unwrap();
+        assert_eq!(loaded.distinct_count(), art.distinct_count());
+        // A larger-k requirement than the stored sketch is a miss.
+        assert!(disk.load_column(fp, BASE_SKETCH_K + 1).is_none());
+        assert_eq!(
+            disk.stats(),
+            DiskStats { hits: 1, misses: 2, evictions: 0, corrupt: 0, writes: 1 }
+        );
+        assert!(disk.bytes_total() > 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupted_shard_on_disk_falls_back_and_is_deleted() {
+        let dir = tmpdir("corrupt");
+        let disk = DiskCache::open(&dir, DEFAULT_DISK_BUDGET).unwrap();
+        let col = mixed_column();
+        let fp = crate::column_fingerprint(&col);
+        let art = ColumnArtifacts::compute(&col, BASE_SKETCH_K);
+        disk.store_column(fp, &art, false);
+        // Flip a byte in the stored shard.
+        let path = disk.column_path(fp);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xff;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(disk.load_column(fp, 1).is_none());
+        assert_eq!(disk.stats().corrupt, 1);
+        assert!(!path.exists(), "corrupt shard must be deleted");
+        // Recompute-and-store works again afterwards.
+        disk.store_column(fp, &art, false);
+        assert!(disk.load_column(fp, 1).is_some());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn directory_lru_honors_byte_budget() {
+        let dir = tmpdir("budget");
+        // Seed a directory with shards from a "previous process".
+        let cols: Vec<Column> = (0..12)
+            .map(|i| Column::new("c", (i * 100..i * 100 + 60).map(Value::Int).collect::<Vec<_>>()))
+            .collect();
+        let per_shard = {
+            let disk = DiskCache::open(&dir, u64::MAX).unwrap();
+            for c in &cols {
+                disk.store_column(crate::column_fingerprint(c), &ColumnArtifacts::compute(c, 64), false);
+            }
+            disk.bytes_total() / cols.len() as u64
+        };
+        assert!(per_shard > 0);
+        // Reopen with a budget that fits ~6 shards, then write 3 new ones:
+        // the oldest pre-existing shards are evicted to stay under budget.
+        let budget = per_shard * 6;
+        let disk = DiskCache::open(&dir, budget).unwrap();
+        let before = disk.bytes_total();
+        assert!(before > budget, "seeded dir must exceed the budget");
+        for i in 100..103 {
+            let c = Column::new("n", (i * 100..i * 100 + 60).map(Value::Int).collect::<Vec<_>>());
+            disk.store_column(crate::column_fingerprint(&c), &ColumnArtifacts::compute(&c, 64), false);
+        }
+        assert!(
+            disk.bytes_total() <= budget,
+            "bytes {} exceed budget {budget}",
+            disk.bytes_total()
+        );
+        let stats = disk.stats();
+        assert!(stats.evictions > 0);
+        assert_eq!(stats.writes, 3);
+        // The 3 new shards survive (pinned); evictions came from the old set.
+        for i in 100..103i64 {
+            let c = Column::new("n", (i * 100..i * 100 + 60).map(Value::Int).collect::<Vec<_>>());
+            assert!(disk.load_column(crate::column_fingerprint(&c), 1).is_some());
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn reopen_reads_what_a_previous_process_wrote() {
+        let dir = tmpdir("reopen");
+        let col = mixed_column();
+        let fp = crate::column_fingerprint(&col);
+        let art = ColumnArtifacts::compute(&col, BASE_SKETCH_K);
+        {
+            let disk = DiskCache::open(&dir, DEFAULT_DISK_BUDGET).unwrap();
+            disk.store_column(fp, &art, false);
+            let df = DataFrame::from_columns(vec![("a", (0..40).map(Value::Int).collect())])
+                .unwrap();
+            disk.store_tuples(&KeyTupleSet::compute(&df, &[0]));
+        }
+        let disk = DiskCache::open(&dir, DEFAULT_DISK_BUDGET).unwrap();
+        assert!(disk.bytes_total() > 0);
+        let loaded = disk.load_column(fp, BASE_SKETCH_K).unwrap();
+        assert_eq!(loaded.sketch().mins(), art.sketch().mins());
+        let df = DataFrame::from_columns(vec![("a", (0..40).map(Value::Int).collect())])
+            .unwrap();
+        let set = KeyTupleSet::compute(&df, &[0]);
+        assert_eq!(disk.load_tuples(set.fingerprint()).unwrap(), set);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

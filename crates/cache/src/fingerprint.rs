@@ -51,6 +51,28 @@ pub fn column_fingerprint(col: &Column) -> ColumnFingerprint {
     values_fingerprint(col.values().iter().map(|v| v.fingerprint()), col.len())
 }
 
+/// Fold pre-hashed digests into a 128-bit multiset fingerprint under a
+/// domain `tag`, so fingerprints of different artifact kinds (column value
+/// multisets vs. key-tuple multisets of a given width) can never collide by
+/// construction. `tag = 0` reproduces [`values_fingerprint`] exactly.
+pub(crate) fn tagged_multiset_fingerprint<I: IntoIterator<Item = u64>>(
+    hashes: I,
+    len: usize,
+    tag: u64,
+) -> ColumnFingerprint {
+    let mut lane_a = mix(len as u64 ^ 0x9e37_79b9_7f4a_7c15, LANE_A.0, LANE_A.1);
+    let mut lane_b = mix(len as u64 ^ 0x2545_f491_4f6c_dd1d, LANE_B.0, LANE_B.1);
+    if tag != 0 {
+        lane_a ^= mix(tag, LANE_B.0, LANE_B.1);
+        lane_b ^= mix(tag, LANE_A.0, LANE_A.1);
+    }
+    for h in hashes {
+        lane_a = lane_a.wrapping_add(mix(h, LANE_A.0, LANE_A.1));
+        lane_b = lane_b.wrapping_add(mix(h, LANE_B.0, LANE_B.1));
+    }
+    ColumnFingerprint(((lane_a as u128) << 64) | lane_b as u128)
+}
+
 /// Fold pre-hashed value digests into a 128-bit multiset fingerprint.
 fn values_fingerprint<I: IntoIterator<Item = u64>>(hashes: I, len: usize) -> ColumnFingerprint {
     // Commutative fold: each lane sums an independently mixed view of every

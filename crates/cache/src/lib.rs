@@ -43,11 +43,23 @@
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 mod artifacts;
+mod disk;
 mod fingerprint;
+mod pair;
 mod sketch;
 
 pub use artifacts::{dtype_slot, ColumnArtifacts, BASE_SKETCH_K};
+pub use disk::{
+    decode_column, decode_tuples, encode_column, encode_tuples, DiskCache, DiskStats,
+    DEFAULT_DISK_BUDGET, DISK_CORRUPT_COUNTER, DISK_EVICTIONS_COUNTER, DISK_HITS_COUNTER,
+    DISK_MISSES_COUNTER, DISK_WRITES_COUNTER,
+};
 pub use fingerprint::{column_fingerprint, table_fingerprint, ColumnFingerprint};
+pub use pair::{
+    KeyTupleSet, PairCache, PairOverlap, DEFAULT_PAIR_CAPACITY, DEFAULT_TUPLE_CAPACITY,
+    PAIR_EVICTIONS_COUNTER, PAIR_HITS_COUNTER, PAIR_MISSES_COUNTER, TUPLE_EVICTIONS_COUNTER,
+    TUPLE_HITS_COUNTER, TUPLE_MISSES_COUNTER,
+};
 pub use sketch::MinHashSketch;
 
 use autosuggest_dataframe::Column;
@@ -118,6 +130,10 @@ pub struct ColumnCache {
     shards: Vec<Mutex<Shard>>,
     per_shard_capacity: usize,
     enabled: AtomicBool,
+    /// Optional persistent tier consulted on in-memory misses (see
+    /// [`DiskCache`]); attached from `AUTOSUGGEST_CACHE_DIR` on the global
+    /// instance, `None` on plain `new()` instances.
+    disk: Mutex<Option<Arc<DiskCache>>>,
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
@@ -133,10 +149,72 @@ fn lock_recover<'a>(m: &'a Mutex<Shard>) -> MutexGuard<'a, Shard> {
     }
 }
 
-fn env_enabled() -> bool {
+pub(crate) fn env_enabled() -> bool {
     match std::env::var("AUTOSUGGEST_CACHE") {
         Ok(v) => !matches!(v.trim().to_ascii_lowercase().as_str(), "0" | "off" | "false"),
         Err(_) => true,
+    }
+}
+
+/// The process-wide disk tier from `AUTOSUGGEST_CACHE_DIR`, opened once and
+/// shared by the column and pair caches (a single size ledger and counter
+/// set per directory). `None` when the env var is unset or unusable.
+pub fn default_disk() -> Option<Arc<DiskCache>> {
+    static GLOBAL: OnceLock<Option<Arc<DiskCache>>> = OnceLock::new();
+    GLOBAL.get_or_init(DiskCache::from_env).clone()
+}
+
+/// Attach (or detach, with `None`) a disk tier on both global caches —
+/// used by the repro harness's disk-warm sweep and by tests.
+pub fn attach_disk(disk: Option<Arc<DiskCache>>) {
+    ColumnCache::global().set_disk(disk.clone());
+    PairCache::global().set_disk(disk);
+}
+
+/// Toggle every global cache tier at once (A/B timing runs).
+pub fn set_all_enabled(on: bool) {
+    ColumnCache::global().set_enabled(on);
+    PairCache::global().set_enabled(on);
+}
+
+/// Drop every in-memory entry in the global tiers (disk shards are kept —
+/// clearing memory is exactly what produces a "disk-warm" cold start).
+pub fn clear_memory() {
+    ColumnCache::global().clear();
+    PairCache::global().clear();
+}
+
+/// Per-tier counter snapshot across the global caches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TierStats {
+    pub column: CacheStats,
+    pub tuple: CacheStats,
+    pub pair: CacheStats,
+    pub disk: DiskStats,
+}
+
+impl TierStats {
+    /// Per-tier counter deltas since an earlier snapshot.
+    pub fn since(&self, earlier: &TierStats) -> TierStats {
+        TierStats {
+            column: self.column.since(&earlier.column),
+            tuple: self.tuple.since(&earlier.tuple),
+            pair: self.pair.since(&earlier.pair),
+            disk: self.disk.since(&earlier.disk),
+        }
+    }
+}
+
+/// Snapshot all four tiers of the global caches (disk counters are zero
+/// when no disk tier is attached).
+pub fn tier_stats() -> TierStats {
+    let column_cache = ColumnCache::global();
+    let pair_cache = PairCache::global();
+    TierStats {
+        column: column_cache.stats(),
+        tuple: pair_cache.tuple_stats(),
+        pair: pair_cache.pair_stats(),
+        disk: column_cache.disk().map(|d| d.stats()).unwrap_or_default(),
     }
 }
 
@@ -148,6 +226,7 @@ impl ColumnCache {
             shards: (0..SHARDS).map(|_| Mutex::new(Shard::default())).collect(),
             per_shard_capacity: capacity.div_ceil(SHARDS).max(1),
             enabled: AtomicBool::new(true),
+            disk: Mutex::new(None),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
@@ -155,14 +234,32 @@ impl ColumnCache {
     }
 
     /// The process-wide cache used by the featurisers, initialised on first
-    /// use with [`DEFAULT_CAPACITY`] and the `AUTOSUGGEST_CACHE` env gate.
+    /// use with [`DEFAULT_CAPACITY`], the `AUTOSUGGEST_CACHE` env gate, and
+    /// the `AUTOSUGGEST_CACHE_DIR` disk tier when configured.
     pub fn global() -> &'static ColumnCache {
         static GLOBAL: OnceLock<ColumnCache> = OnceLock::new();
         GLOBAL.get_or_init(|| {
             let cache = ColumnCache::new(DEFAULT_CAPACITY);
             cache.enabled.store(env_enabled(), Ordering::Relaxed);
+            cache.set_disk(default_disk());
             cache
         })
+    }
+
+    /// Attach (or detach) a persistent disk tier for column-artifact shards.
+    pub fn set_disk(&self, disk: Option<Arc<DiskCache>>) {
+        match self.disk.lock() {
+            Ok(mut g) => *g = disk,
+            Err(poisoned) => *poisoned.into_inner() = disk,
+        }
+    }
+
+    /// The currently attached disk tier, if any.
+    pub fn disk(&self) -> Option<Arc<DiskCache>> {
+        match self.disk.lock() {
+            Ok(g) => g.clone(),
+            Err(poisoned) => poisoned.into_inner().clone(),
+        }
     }
 
     /// Whether lookups consult the cache (otherwise they recompute).
@@ -206,7 +303,30 @@ impl ColumnCache {
                 }
                 stale => {
                     let needs_insert = stale.is_none();
-                    let artifacts = Arc::new(ColumnArtifacts::compute(col, sketch_k));
+                    // In-memory miss: consult the persistent tier before
+                    // recomputing. Still inside the shard lock, so the
+                    // single-flight argument extends to disk — each
+                    // distinct fingerprint is probed (and stored) at most
+                    // once per process, keeping `cache.disk.*` counters
+                    // thread-invariant.
+                    let disk = self.disk();
+                    let loaded = disk
+                        .as_ref()
+                        .and_then(|d| d.load_column(fp, sketch_k))
+                        .map(Arc::new);
+                    let artifacts = match loaded {
+                        Some(a) => a,
+                        None => {
+                            let a = Arc::new(ColumnArtifacts::compute(col, sketch_k));
+                            if let Some(d) = &disk {
+                                // Overwrite is only reachable when an
+                                // existing shard's sketch was too small
+                                // for this request (the upgrade path).
+                                d.store_column(fp, &a, true);
+                            }
+                            a
+                        }
+                    };
                     if needs_insert && shard.map.len() >= self.per_shard_capacity {
                         // Evict the least-recently-used entry; ties (possible
                         // only before any entry is re-touched) break on the

@@ -3,7 +3,7 @@
 
 use autosuggest_corpus::replay::{OpInvocation, OpParams};
 use autosuggest_features::{
-    enumerate_join_candidates, join_features, CandidateParams, JoinCandidate,
+    enumerate_join_candidates, join_features, join_features_batch, CandidateParams, JoinCandidate,
     JOIN_FEATURE_GROUPS, JOIN_FEATURE_NAMES,
 };
 use autosuggest_dataframe::DataFrame;
@@ -80,6 +80,10 @@ impl JoinColumnPredictor {
             let left = &inv.inputs[0];
             let right = &inv.inputs[1];
             let cands = candidates_with_truth(left, right, &truth, &cand_params);
+            // Select kept candidates first (truth + capped negatives), then
+            // featurise the kept set in one batch so each distinct key-column
+            // tuple is hashed once per table rather than once per candidate.
+            let mut kept: Vec<&JoinCandidate> = Vec::with_capacity(cands.len());
             let mut negatives = 0usize;
             for cand in &cands {
                 let is_truth = *cand == truth;
@@ -89,9 +93,15 @@ impl JoinColumnPredictor {
                         continue;
                     }
                 }
-                rows.push(join_features(left, right, cand).values);
+                kept.push(cand);
                 labels.push(if is_truth { 1.0 } else { 0.0 });
             }
+            let kept_owned: Vec<JoinCandidate> = kept.into_iter().cloned().collect();
+            rows.extend(
+                join_features_batch(left, right, &kept_owned)
+                    .into_iter()
+                    .map(|f| f.values),
+            );
             (rows, labels)
         });
         let mut rows: Vec<Vec<f64>> = Vec::new();
@@ -120,11 +130,14 @@ impl JoinColumnPredictor {
         right: &DataFrame,
         cands: &[JoinCandidate],
     ) -> Vec<usize> {
-        // Wide tables can enumerate thousands of candidates; score across
-        // the pool (input order preserved, tie-break unchanged).
+        // Wide tables can enumerate thousands of candidates; featurise the
+        // whole pool in one batch (each distinct key-column tuple hashed
+        // once per table) and score the rows (input order preserved,
+        // tie-break unchanged).
+        let feats = join_features_batch(left, right, cands);
         let scores: Vec<f64> = autosuggest_parallel::Pool::global()
             .with_min_items(64)
-            .par_map(cands, |c| self.score(left, right, c));
+            .par_map(&feats, |f| self.model.predict(&f.values));
         let mut order: Vec<usize> = (0..cands.len()).collect();
         order.sort_by(|&a, &b| scores[b].total_cmp(&scores[a]).then(a.cmp(&b)));
         order

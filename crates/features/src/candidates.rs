@@ -1,11 +1,10 @@
 //! Join-candidate enumeration with type and sketch pruning (§4.1, fn. 2).
 
 use autosuggest_cache::{ColumnArtifacts, ColumnCache, MinHashSketch};
-use autosuggest_dataframe::{DataFrame, DType, Value};
+use autosuggest_dataframe::{DataFrame, DType};
 use autosuggest_obs as obs;
 use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
-use std::hash::{Hash, Hasher};
 
 /// A candidate join: column index sets `S ⊆ T` and `S' ⊆ T'` with
 /// `|S| = |S'|`.
@@ -40,30 +39,18 @@ impl Default for CandidateParams {
     }
 }
 
-/// Hash a tuple of cells.
-fn tuple_hash(vals: &[&Value]) -> u64 {
-    let mut h = std::collections::hash_map::DefaultHasher::new();
-    for v in vals {
-        v.hash(&mut h);
-    }
-    h.finish()
-}
-
 /// Distinct non-null tuple hashes for a column set.
+///
+/// Delegates to the canonical implementation in `autosuggest_cache`
+/// ([`autosuggest_cache::KeyTupleSet`]) so the null-skip and hashing
+/// semantics live in exactly one place; the featuriser's hot path uses the
+/// cached `PairCache::key_tuples` instead of this eager set.
 pub fn key_tuple_hashes(df: &DataFrame, cols: &[usize]) -> HashSet<u64> {
-    let mut out = HashSet::with_capacity(df.num_rows());
-    'row: for i in 0..df.num_rows() {
-        let mut vals = Vec::with_capacity(cols.len());
-        for &c in cols {
-            let v = df.column_at(c).get(i);
-            if v.is_null() {
-                continue 'row;
-            }
-            vals.push(v);
-        }
-        out.insert(tuple_hash(&vals));
-    }
-    out
+    autosuggest_cache::KeyTupleSet::compute(df, cols)
+        .hashes()
+        .iter()
+        .copied()
+        .collect()
 }
 
 /// Enumerate join candidates between `left` and `right`.

@@ -1,9 +1,10 @@
 //! Join-candidate features (§4.1) — the eight groups of Table 4.
 
-use crate::candidates::{key_tuple_hashes, JoinCandidate};
-use autosuggest_cache::{ColumnArtifacts, ColumnCache};
+use crate::candidates::JoinCandidate;
+use autosuggest_cache::{ColumnArtifacts, ColumnCache, KeyTupleSet, PairCache};
 use autosuggest_dataframe::{DataFrame, DType};
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
 use std::sync::Arc;
 
 /// Names of the join feature vector entries, in extraction order.
@@ -69,10 +70,78 @@ impl JoinFeatures {
 }
 
 /// Extract the §4.1 feature vector for candidate `(S, S')`.
+///
+/// Key-tuple sets and the pair-level intersection come from the pair-aware
+/// cache tier (`autosuggest_cache::PairCache`): each distinct
+/// `(content, key tuple)` builds its set once and each distinct content
+/// *pair* intersects once, process-wide. Callers featurising many
+/// candidates for one table pair should prefer [`join_features_batch`],
+/// which additionally hoists the per-tuple hashing pass out of the
+/// per-candidate path.
 pub fn join_features(
     left: &DataFrame,
     right: &DataFrame,
     cand: &JoinCandidate,
+) -> JoinFeatures {
+    let pairs = PairCache::global();
+    let lkeys = pairs.key_tuples(left, &cand.left_cols);
+    let rkeys = pairs.key_tuples(right, &cand.right_cols);
+    join_features_with_sets(left, right, cand, &lkeys, &rkeys)
+}
+
+/// Extract feature vectors for every candidate of one table pair, sharing
+/// key-tuple sets across candidates.
+///
+/// This is the hot batched path: each distinct `(side, column tuple)` of
+/// the request is hashed and fetched exactly once (candidates repeat
+/// tuples heavily — every two-column candidate reuses two single-column
+/// sets' columns, and `rank_candidates`/training touch the same tuples for
+/// hundreds of candidates), then candidates are featurised across the pool
+/// with the memoized sets. Output order matches `cands`; every vector is
+/// bit-identical to calling [`join_features`] per candidate.
+pub fn join_features_batch(
+    left: &DataFrame,
+    right: &DataFrame,
+    cands: &[JoinCandidate],
+) -> Vec<JoinFeatures> {
+    let pairs = PairCache::global();
+    // Distinct column tuples per side, in first-appearance order so cache
+    // counters stay independent of the candidate mix.
+    let mut ltuples: Vec<Vec<usize>> = Vec::new();
+    let mut rtuples: Vec<Vec<usize>> = Vec::new();
+    for cand in cands {
+        if !ltuples.contains(&cand.left_cols) {
+            ltuples.push(cand.left_cols.clone());
+        }
+        if !rtuples.contains(&cand.right_cols) {
+            rtuples.push(cand.right_cols.clone());
+        }
+    }
+    // One fetch per distinct tuple — the expensive pass — fanned out over
+    // the pool (single-flight keeps the counters thread-invariant).
+    let pool = autosuggest_parallel::Pool::global().with_min_items(8);
+    let lsets: Vec<Arc<KeyTupleSet>> =
+        pool.par_map(&ltuples, |cols| pairs.key_tuples(left, cols));
+    let rsets: Vec<Arc<KeyTupleSet>> =
+        pool.par_map(&rtuples, |cols| pairs.key_tuples(right, cols));
+    let lmap: HashMap<&[usize], &Arc<KeyTupleSet>> =
+        ltuples.iter().map(|t| t.as_slice()).zip(&lsets).collect();
+    let rmap: HashMap<&[usize], &Arc<KeyTupleSet>> =
+        rtuples.iter().map(|t| t.as_slice()).zip(&rsets).collect();
+    pool.with_min_items(16).par_map(cands, |cand| {
+        let lkeys = lmap[cand.left_cols.as_slice()];
+        let rkeys = rmap[cand.right_cols.as_slice()];
+        join_features_with_sets(left, right, cand, lkeys, rkeys)
+    })
+}
+
+/// The feature computation proper, over precomputed key-tuple sets.
+fn join_features_with_sets(
+    left: &DataFrame,
+    right: &DataFrame,
+    cand: &JoinCandidate,
+    lkeys: &KeyTupleSet,
+    rkeys: &KeyTupleSet,
 ) -> JoinFeatures {
     assert_eq!(cand.left_cols.len(), cand.right_cols.len());
     assert!(!cand.left_cols.is_empty());
@@ -81,14 +150,13 @@ pub fn join_features(
     let rrows = right.num_rows().max(1);
 
     // Distinct-value-ratio over key tuples.
-    let lkeys = key_tuple_hashes(left, &cand.left_cols);
-    let rkeys = key_tuple_hashes(right, &cand.right_cols);
     let distinct_l = lkeys.len() as f64 / lrows as f64;
     let distinct_r = rkeys.len() as f64 / rrows as f64;
 
     // Exact value overlap on tuple hashes (tables at replay scale are small
-    // enough to afford exact sets; sketches are only for pruning).
-    let inter = lkeys.intersection(&rkeys).count() as f64;
+    // enough to afford exact sets; sketches are only for pruning). The
+    // intersection size is memoized per distinct content pair.
+    let inter = PairCache::global().intersection(lkeys, rkeys) as f64;
     let union = (lkeys.len() + rkeys.len()) as f64 - inter;
     let jaccard = if union > 0.0 { inter / union } else { 0.0 };
     let cont_l = if !lkeys.is_empty() { inter / lkeys.len() as f64 } else { 0.0 };

@@ -165,6 +165,77 @@ fn suggest_batch_deduplicates_tables_and_reports_counters() {
 }
 
 #[test]
+fn pair_tier_counters_are_deterministic_across_thread_counts() {
+    use auto_suggest::cache::PairCache;
+    let _guard = OVERRIDE_LOCK.lock().unwrap();
+    let frames: Vec<DataFrame> = (0..12)
+        .map(|t| {
+            DataFrame::from_columns(vec![
+                ("k", (t..t + 30).map(Value::Int).collect()),
+                ("v", (0..30).map(|i| Value::Str(format!("v{i}"))).collect()),
+            ])
+            .unwrap()
+        })
+        .collect();
+    let run = |threads: usize| {
+        set_thread_override(Some(threads));
+        let pairs = PairCache::new(256, 256);
+        // Each frame's key tuple fetched three times concurrently, and each
+        // adjacent pair's overlap requested twice: single-flight makes the
+        // hit/miss split exact however the pool interleaves.
+        let work: Vec<usize> = (0..frames.len() * 3).collect();
+        auto_suggest::parallel::par_map(&work, |&i| {
+            let f = &frames[i % frames.len()];
+            let l = pairs.key_tuples(f, &[0]);
+            let r = pairs.key_tuples(&frames[(i % frames.len() + 1) % frames.len()], &[0]);
+            pairs.intersection(&l, &r)
+        });
+        set_thread_override(None);
+        (pairs.tuple_stats(), pairs.pair_stats())
+    };
+    let (t1, p1) = run(1);
+    let (t4, p4) = run(4);
+    assert_eq!(t1, t4, "tuple-tier counters diverged between 1 and 4 threads");
+    assert_eq!(p1, p4, "pair-tier counters diverged between 1 and 4 threads");
+    // 12 distinct (frame, [0]) tuples fetched 6 times each (once as left,
+    // once as right, per 3 passes) → 12 misses, 60 hits.
+    assert_eq!(t1, CacheStats { hits: 60, misses: 12, evictions: 0 });
+    // 12 distinct adjacent pairs, each requested 3 times.
+    assert_eq!(p1, CacheStats { hits: 24, misses: 12, evictions: 0 });
+}
+
+#[test]
+fn join_features_batch_matches_sequential_join_features() {
+    use auto_suggest::features::{
+        enumerate_join_candidates, join_features, join_features_batch, CandidateParams,
+    };
+    let left = DataFrame::from_columns(vec![
+        ("id", (0..60).map(Value::Int).collect()),
+        ("region", (0..60).map(|i| Value::Str(format!("r{}", i % 7))).collect()),
+        ("score", (0..60).map(|i| Value::Float(i as f64 * 0.5)).collect()),
+    ])
+    .unwrap();
+    let right = DataFrame::from_columns(vec![
+        ("key", (20..80).map(Value::Int).collect()),
+        ("region", (0..60).map(|i| Value::Str(format!("r{}", i % 9))).collect()),
+    ])
+    .unwrap();
+    let cands = enumerate_join_candidates(&left, &right, &CandidateParams::default());
+    assert!(cands.len() >= 2, "workload needs several candidates");
+    let sequential: Vec<Vec<f64>> = cands
+        .iter()
+        .map(|c| join_features(&left, &right, c).values)
+        .collect();
+    let batched: Vec<Vec<f64>> = join_features_batch(&left, &right, &cands)
+        .into_iter()
+        .map(|f| f.values)
+        .collect();
+    // Bit-identical, not approximately equal: the batch path must reuse the
+    // exact same tuple sets and intersection counts.
+    assert_eq!(sequential, batched);
+}
+
+#[test]
 fn cache_counters_appear_in_deterministic_trace_section() {
     let params = auto_suggest::features::CandidateParams::default();
     let left = DataFrame::from_columns(vec![

@@ -1,0 +1,204 @@
+//! The on-disk artifact-shard tier, end to end:
+//!
+//! * column artifacts and key-tuple sets persist across cache instances
+//!   (a fresh in-memory cache over the same directory loads instead of
+//!   recomputing, byte-identically);
+//! * corrupted shards are detected, deleted, and transparently recomputed;
+//! * disk-tier counters are bit-identical at 1 and 4 threads;
+//! * the disk counters surface in the deterministic obs section.
+
+use auto_suggest::cache::{
+    column_fingerprint, encode_column, encode_tuples, ColumnCache, DiskCache, DiskStats,
+    PairCache, DEFAULT_DISK_BUDGET,
+};
+use auto_suggest::dataframe::{Column, DataFrame, Value};
+use auto_suggest::obs;
+use auto_suggest::parallel::set_thread_override;
+use std::path::PathBuf;
+use std::sync::Mutex;
+
+/// The thread override is process-global, so tests that sweep it must not
+/// overlap (cargo runs `#[test]`s concurrently by default).
+static OVERRIDE_LOCK: Mutex<()> = Mutex::new(());
+
+/// Fresh scratch directory for one test, removed on drop.
+struct Scratch(PathBuf);
+
+impl Scratch {
+    fn new(name: &str) -> Scratch {
+        let dir = std::env::temp_dir()
+            .join(format!("autosuggest-disk-test-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        Scratch(dir)
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn int_col(name: &str, lo: i64, hi: i64) -> Column {
+    Column::new(name, (lo..hi).map(Value::Int).collect::<Vec<_>>())
+}
+
+#[test]
+fn column_artifacts_persist_across_cache_instances() {
+    let scratch = Scratch::new("col-persist");
+    let col = int_col("id", 0, 500);
+    let fp = column_fingerprint(&col);
+
+    // First instance computes and writes a shard.
+    let first_bytes = {
+        let cache = ColumnCache::new(64);
+        cache.set_disk(Some(DiskCache::open(&scratch.0, DEFAULT_DISK_BUDGET).unwrap()));
+        let art = cache.artifacts(&col);
+        let disk = cache.disk().unwrap();
+        assert_eq!(disk.stats().writes, 1, "cold miss must write a shard");
+        assert_eq!(disk.stats().hits, 0);
+        encode_column(fp, &art)
+    };
+
+    // A brand-new memory cache over a brand-new handle to the same
+    // directory serves the artifacts from disk, byte-identically.
+    let cache = ColumnCache::new(64);
+    let disk = DiskCache::open(&scratch.0, DEFAULT_DISK_BUDGET).unwrap();
+    cache.set_disk(Some(disk.clone()));
+    let art = cache.artifacts(&col);
+    assert_eq!(
+        disk.stats(),
+        DiskStats { hits: 1, misses: 0, evictions: 0, corrupt: 0, writes: 0 }
+    );
+    // The in-memory tier still counts a miss — the point is the miss was
+    // satisfied from disk rather than recomputed.
+    assert_eq!(cache.stats().misses, 1);
+    assert_eq!(encode_column(fp, &art), first_bytes, "loaded artifacts must be bit-identical");
+}
+
+#[test]
+fn key_tuple_sets_persist_across_cache_instances() {
+    let scratch = Scratch::new("tup-persist");
+    let frame = DataFrame::from_columns(vec![
+        ("a", (0..80).map(Value::Int).collect()),
+        ("b", (0..80).map(|i| Value::Str(format!("s{}", i % 11))).collect()),
+    ])
+    .unwrap();
+
+    let first_bytes = {
+        let pairs = PairCache::new(64, 64);
+        pairs.set_disk(Some(DiskCache::open(&scratch.0, DEFAULT_DISK_BUDGET).unwrap()));
+        let set = pairs.key_tuples(&frame, &[0, 1]);
+        encode_tuples(&set)
+    };
+
+    let pairs = PairCache::new(64, 64);
+    let disk = DiskCache::open(&scratch.0, DEFAULT_DISK_BUDGET).unwrap();
+    pairs.set_disk(Some(disk.clone()));
+    let set = pairs.key_tuples(&frame, &[0, 1]);
+    assert_eq!(disk.stats().hits, 1, "second instance must load the tuple shard");
+    assert_eq!(encode_tuples(&set), first_bytes);
+    // A different column tuple over the same frame is a different key.
+    let other = pairs.key_tuples(&frame, &[0]);
+    assert_ne!(other.fingerprint(), set.fingerprint());
+}
+
+#[test]
+fn corrupted_shards_are_deleted_and_recomputed() {
+    let scratch = Scratch::new("corrupt");
+    let col = int_col("id", 0, 300);
+    let fp = column_fingerprint(&col);
+
+    let clean_bytes = {
+        let cache = ColumnCache::new(64);
+        cache.set_disk(Some(DiskCache::open(&scratch.0, DEFAULT_DISK_BUDGET).unwrap()));
+        encode_column(fp, &cache.artifacts(&col))
+    };
+
+    // Flip one payload byte in the single shard file on disk.
+    let shard = std::fs::read_dir(scratch.0.join("col"))
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .find(|p| p.extension().is_some_and(|e| e == "shard"))
+        .expect("one column shard written");
+    let mut bytes = std::fs::read(&shard).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0xFF;
+    std::fs::write(&shard, &bytes).unwrap();
+
+    // A fresh instance detects the corruption, deletes the shard, and
+    // recomputes the identical artifacts.
+    let cache = ColumnCache::new(64);
+    let disk = DiskCache::open(&scratch.0, DEFAULT_DISK_BUDGET).unwrap();
+    cache.set_disk(Some(disk.clone()));
+    let art = cache.artifacts(&col);
+    assert_eq!(encode_column(fp, &art), clean_bytes, "recompute must match the clean run");
+    let stats = disk.stats();
+    assert_eq!(stats.corrupt, 1, "corruption must be counted");
+    assert_eq!(stats.hits, 0);
+    assert_eq!(stats.writes, 1, "recomputed artifacts are re-persisted");
+    assert!(!shard.exists() || std::fs::read(&shard).unwrap() != bytes,
+        "the corrupt shard must not survive as-is");
+}
+
+#[test]
+fn disk_counters_are_deterministic_across_thread_counts() {
+    let _guard = OVERRIDE_LOCK.lock().unwrap();
+    let run = |threads: usize, scratch: &Scratch| {
+        set_thread_override(Some(threads));
+        // Seed the directory from a first cache instance, then drive a
+        // second, empty memory cache over it concurrently: every lookup
+        // falls through memory and races on the disk tier.
+        let cols: Vec<Column> = (0..48).map(|i| int_col("c", i * 50, i * 50 + 25)).collect();
+        let seed_cache = ColumnCache::new(256);
+        seed_cache.set_disk(Some(DiskCache::open(&scratch.0, DEFAULT_DISK_BUDGET).unwrap()));
+        auto_suggest::parallel::par_map(&cols, |c| {
+            seed_cache.artifacts(c);
+        });
+        let cache = ColumnCache::new(256);
+        let disk = DiskCache::open(&scratch.0, DEFAULT_DISK_BUDGET).unwrap();
+        cache.set_disk(Some(disk.clone()));
+        let doubled: Vec<&Column> = cols.iter().chain(cols.iter()).collect();
+        auto_suggest::parallel::par_map(&doubled, |c| {
+            cache.artifacts(c);
+        });
+        set_thread_override(None);
+        (seed_cache.disk().unwrap().stats(), disk.stats(), cache.stats())
+    };
+    let s1 = Scratch::new("det-1");
+    let s4 = Scratch::new("det-4");
+    let (seed1, disk1, mem1) = run(1, &s1);
+    let (seed4, disk4, mem4) = run(4, &s4);
+    assert_eq!(seed1, seed4, "seeding-phase disk counters diverged");
+    assert_eq!(disk1, disk4, "warm-phase disk counters diverged");
+    assert_eq!(mem1, mem4, "memory counters diverged");
+    // The warm phase: 48 distinct keys × 2 concurrent passes — single-flight
+    // means exactly 48 disk hits (one per key) and zero writes.
+    assert_eq!(
+        disk1,
+        DiskStats { hits: 48, misses: 0, evictions: 0, corrupt: 0, writes: 0 }
+    );
+    assert_eq!(seed1.writes, 48);
+}
+
+#[test]
+fn disk_counters_appear_in_deterministic_trace_section() {
+    let scratch = Scratch::new("obs");
+    let col = int_col("id", 0, 100);
+    let ((), snap) = obs::with_local_registry(|| {
+        let cache = ColumnCache::new(16);
+        cache.set_disk(Some(DiskCache::open(&scratch.0, DEFAULT_DISK_BUDGET).unwrap()));
+        cache.artifacts(&col); // miss → write
+        let warm = ColumnCache::new(16);
+        warm.set_disk(Some(DiskCache::open(&scratch.0, DEFAULT_DISK_BUDGET).unwrap()));
+        warm.artifacts(&col); // memory miss → disk hit
+    });
+    let det = snap.deterministic_value().to_string();
+    for c in ["cache.disk.writes", "cache.disk.hits"] {
+        assert!(det.contains(&format!("\"{c}\"")), "{c} missing from {det}");
+    }
+    assert_eq!(snap.counters.get("cache.disk.writes"), Some(&1));
+    assert_eq!(snap.counters.get("cache.disk.hits"), Some(&1));
+    assert!(!snap.timing_value().to_string().contains("cache.disk."));
+}

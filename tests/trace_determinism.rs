@@ -22,10 +22,11 @@ static OVERRIDE_LOCK: Mutex<()> = Mutex::new(());
 /// rendered deterministic and timing sections.
 fn trace_sections(threads: usize) -> (String, String) {
     set_thread_override(Some(threads));
-    // The column cache is process-global; start each run cold so its
-    // hit/miss counters (part of the deterministic section) reflect this
-    // run alone rather than entries interned by a previous in-process run.
-    auto_suggest::cache::ColumnCache::global().clear();
+    // The column/pair caches are process-global; start each run cold so
+    // their hit/miss counters (part of the deterministic section) reflect
+    // this run alone rather than entries interned by a previous in-process
+    // run.
+    auto_suggest::cache::clear_memory();
     let (_, snapshot) = obs::with_local_registry(|| {
         AutoSuggest::train(AutoSuggestConfig::fast(7))
     });
