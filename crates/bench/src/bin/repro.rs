@@ -235,8 +235,10 @@ fn main() {
             fmt(run_tiers.pair)
         );
         let d = run_tiers.disk;
+        // "effective hit rate" counts corrupt reads as failed lookups
+        // (hits / (hits + misses + corrupt)) — see DiskStats::hit_rate.
         eprintln!(
-            "[repro] cache disk:   attached={} {} hits / {} misses / {} corrupt / {} writes / {} evictions (hit rate {:.1}%)",
+            "[repro] cache disk:   attached={} {} hits / {} misses / {} corrupt / {} writes / {} evictions (effective hit rate {:.1}%)",
             cache.disk().is_some(),
             d.hits,
             d.misses,

@@ -71,10 +71,21 @@ pub struct DiskStats {
 }
 
 impl DiskStats {
+    /// Every probe of the disk tier: served (`hits`), absent (`misses`),
+    /// and present-but-unreadable (`corrupt`). A corrupt read is a failed
+    /// lookup — the caller recomputed exactly as it would have on a miss —
+    /// so it belongs in the lookup count.
     pub fn lookups(&self) -> u64 {
         self.hits + self.misses + self.corrupt
     }
 
+    /// Effective hit rate: `hits / (hits + misses + corrupt)`.
+    ///
+    /// Convention: corrupt reads count against the rate, because the tier
+    /// failed to serve those lookups even though a shard file existed.
+    /// Every place this rate is printed (`repro --cache-stats`, the
+    /// `"cache"` section of BENCH_repro.json) labels it "effective hit
+    /// rate" for this reason — it is *not* `hits / (hits + misses)`.
     pub fn hit_rate(&self) -> f64 {
         if self.lookups() == 0 {
             0.0
@@ -707,7 +718,25 @@ mod tests {
         // Recompute-and-store works again afterwards.
         disk.store_column(fp, &art, false);
         assert!(disk.load_column(fp, 1).is_some());
+        // Effective-hit-rate convention: the corrupt read is a failed
+        // lookup, so hits=1 over lookups = hits+misses+corrupt = 2.
+        let stats = disk.stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 0);
+        assert_eq!(stats.lookups(), 2);
+        assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn hit_rate_counts_corrupt_reads_in_denominator() {
+        // The documented convention: hit_rate = hits / (hits+misses+corrupt),
+        // not hits / (hits+misses) — a corrupt shard failed to serve its
+        // lookup, exactly like a miss.
+        let stats = DiskStats { hits: 6, misses: 2, evictions: 0, corrupt: 2, writes: 4 };
+        assert_eq!(stats.lookups(), 10);
+        assert!((stats.hit_rate() - 0.6).abs() < 1e-12);
+        assert_eq!(DiskStats::default().hit_rate(), 0.0);
     }
 
     #[test]

@@ -23,10 +23,12 @@
 pub mod groupby;
 pub mod join;
 pub mod join_type;
+pub mod model_slot;
 pub mod nextop;
 pub mod pipeline;
 pub mod pivot;
 pub mod unpivot;
+pub mod wire;
 
 pub use groupby::{GroupByAggPredictor, GroupBySuggestion};
 pub use join::{JoinColumnPredictor, JoinSuggestion};
@@ -35,5 +37,7 @@ pub use nextop::{NextOpPredictor, NextOpConfig};
 pub use pipeline::{
     AutoSuggest, AutoSuggestConfig, SuggestRequest, SuggestResponse, TrainedModels,
 };
+pub use model_slot::{ModelSlot, VersionedModel};
 pub use pivot::{PivotPredictor, PivotSuggestion};
 pub use unpivot::{UnpivotPredictor, UnpivotSuggestion};
+pub use wire::{OwnedSuggestRequest, WireError};

@@ -369,6 +369,10 @@ pub enum SuggestResponse {
     Unavailable(&'static str),
 }
 
+/// Obs counter names for the interactive suggest path (deterministic
+/// section; see the warm-phase gating note on [`AutoSuggest::warm_tables`]).
+pub const WARM_COLUMNS_COUNTER: &str = "suggest.warm_columns";
+
 impl AutoSuggest {
     /// Answer one interactive request with the trained models.
     pub fn suggest(&self, req: &SuggestRequest<'_>) -> SuggestResponse {
@@ -406,7 +410,20 @@ impl AutoSuggest {
     pub fn suggest_batch(&self, reqs: &[SuggestRequest<'_>]) -> Vec<SuggestResponse> {
         let _span = obs::span("suggest_batch");
         obs::counter_add("suggest.batch_requests", reqs.len() as u64);
+        self.warm_tables(reqs);
+        autosuggest_parallel::par_map(reqs, |req| self.suggest(req))
+    }
 
+    /// Pre-warm the column cache for every distinct table across `reqs`,
+    /// so the per-request featurisers hit the cache instead of re-sketching
+    /// shared columns per request. Returns the number of columns warmed.
+    ///
+    /// The warm phase only runs when the global column cache is enabled:
+    /// with `AUTOSUGGEST_CACHE=0` the warmed artifacts would be computed,
+    /// discarded, and recomputed per request — pure wasted work. The
+    /// `suggest.warm_columns` counter counts every column pushed through
+    /// the warm phase, so a disabled cache must leave it untouched.
+    pub fn warm_tables(&self, reqs: &[SuggestRequest<'_>]) -> usize {
         // Deduplicate tables by content fingerprint, keeping first-seen
         // order so the warm-up workload is deterministic.
         let mut seen = std::collections::HashSet::new();
@@ -420,17 +437,34 @@ impl AutoSuggest {
         }
         obs::counter_add("suggest.batch_distinct_tables", distinct.len() as u64);
 
+        let cache = ColumnCache::global();
+        if !cache.enabled() {
+            return 0;
+        }
         // Warm every distinct column once (columns of deduplicated tables
         // are themselves deduplicated by the cache's content addressing).
         let cols: Vec<&autosuggest_dataframe::Column> =
             distinct.iter().flat_map(|t| t.columns()).collect();
+        obs::counter_add(WARM_COLUMNS_COUNTER, cols.len() as u64);
         let sketch_k = self.config.candidates.sketch_k;
-        let cache = ColumnCache::global();
         autosuggest_parallel::par_map(&cols, |c| {
             cache.get_or_compute(c, sketch_k);
         });
+        cols.len()
+    }
 
-        autosuggest_parallel::par_map(reqs, |req| self.suggest(req))
+    /// [`AutoSuggest::suggest`] with panic isolation: a panic anywhere in
+    /// this request's featurisation or model scoring is caught and returned
+    /// as `Err` with the panic message, leaving the process (and any other
+    /// request sharing a batch with this one) untouched. The serving layer
+    /// builds its micro-batch executor on this so one poisoned request can
+    /// never take down the daemon.
+    pub fn suggest_guarded(&self, req: &SuggestRequest<'_>) -> Result<SuggestResponse, String> {
+        let ambient = obs::ambient();
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            obs::with_ambient(&ambient, || self.suggest(req))
+        }))
+        .map_err(|payload| autosuggest_parallel::panic_message(payload.as_ref()))
     }
 }
 

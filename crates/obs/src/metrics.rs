@@ -159,11 +159,15 @@ impl MetricsRegistry {
     }
 }
 
-/// Names ending in `_seconds` / `_nanos` carry wall-clock measurements
-/// and are excluded from the deterministic part of a snapshot. Every
-/// timing metric in the workspace follows this suffix convention.
+/// Names ending in `_seconds` / `_nanos` carry wall-clock measurements,
+/// and names ending in `_live` carry scheduling-dependent observations
+/// (queue depths, micro-batch sizes — values that legitimately vary with
+/// thread count and arrival timing). Both are excluded from the
+/// deterministic part of a snapshot and reported in the timing view
+/// instead. Every such metric in the workspace follows this suffix
+/// convention.
 pub fn is_timing_name(name: &str) -> bool {
-    name.ends_with("_seconds") || name.ends_with("_nanos")
+    name.ends_with("_seconds") || name.ends_with("_nanos") || name.ends_with("_live")
 }
 
 /// A detached copy of a registry's state, split into a deterministic
@@ -235,7 +239,9 @@ impl MetricsSnapshot {
         let mut doc = Map::new();
         let mut counters = Map::new();
         for (name, &v) in &self.counters {
-            counters.insert(name.clone(), Value::from(v));
+            if !is_timing_name(name) {
+                counters.insert(name.clone(), Value::from(v));
+            }
         }
         doc.insert("counters".to_string(), Value::Object(counters));
         let mut gauges = Map::new();
@@ -257,9 +263,17 @@ impl MetricsSnapshot {
     }
 
     /// The wall-clock complement: timing histograms (full shape, bucket
-    /// distribution included) and per-span-path total nanoseconds.
+    /// distribution included), timing/`_live` counters, and per-span-path
+    /// total nanoseconds.
     pub fn timing_value(&self) -> Value {
         let mut doc = Map::new();
+        let mut counters = Map::new();
+        for (name, &v) in &self.counters {
+            if is_timing_name(name) {
+                counters.insert(name.clone(), Value::from(v));
+            }
+        }
+        doc.insert("counters".to_string(), Value::Object(counters));
         let mut hists = Map::new();
         for (name, h) in &self.histograms {
             if is_timing_name(name) {
@@ -352,6 +366,28 @@ mod tests {
         let timing = snap.timing_value().to_string();
         assert!(timing.contains("stage_seconds"));
         assert!(timing.contains("\"a/b\":42"));
+    }
+
+    #[test]
+    fn live_suffix_is_excluded_from_deterministic_view() {
+        // `_live` marks scheduling-dependent observations (queue depth,
+        // micro-batch sizes): they must land in the timing view only, so
+        // the deterministic section stays thread-invariant for a server
+        // under concurrent load.
+        let reg = MetricsRegistry::new();
+        reg.counter_add("server.batches_live", 7);
+        reg.counter_add("server.requests", 10);
+        reg.gauge_set("server.queue_depth_live", 3.0);
+        reg.observe("server.batch_size_live", 4.0);
+        let snap = reg.snapshot();
+        let det = snap.deterministic_value().to_string();
+        assert!(det.contains("\"server.requests\":10"));
+        assert!(!det.contains("batches_live"));
+        assert!(!det.contains("queue_depth_live"));
+        assert!(!det.contains("batch_size_live"));
+        let timing = snap.timing_value().to_string();
+        assert!(timing.contains("\"server.batches_live\":7"));
+        assert!(timing.contains("batch_size_live"));
     }
 
     #[test]

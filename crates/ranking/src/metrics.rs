@@ -80,6 +80,12 @@ pub struct Prf {
 /// never exceed 1. (Symmetrically, duplicates in `truth` need distinct
 /// matching predictions.)
 pub fn set_prf<T: PartialEq>(predicted: &[T], truth: &[T]) -> Prf {
+    if predicted.is_empty() && truth.is_empty() {
+        // Nothing to find and nothing predicted: a perfect match, matching
+        // the vacuous-success convention of `precision_at_k` / `ndcg_at_k` /
+        // `recall_at_k` for `num_relevant == 0`.
+        return Prf { precision: 1.0, recall: 1.0, f1: 1.0 };
+    }
     let mut matched = vec![false; truth.len()];
     let mut tp = 0.0f64;
     for p in predicted {
@@ -236,6 +242,22 @@ mod tests {
         let prf = set_prf(&["a", "b", "c"], &["b", "c", "d", "e"]);
         assert!((prf.precision - 2.0 / 3.0).abs() < 1e-12);
         assert!((prf.recall - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn set_prf_empty_vs_empty_is_vacuously_perfect() {
+        // Same convention as precision_at_k/ndcg_at_k/recall_at_k with
+        // num_relevant == 0: predicting nothing when nothing is relevant is
+        // a perfect answer, not a total miss.
+        let prf = set_prf::<&str>(&[], &[]);
+        assert_eq!(prf, Prf { precision: 1.0, recall: 1.0, f1: 1.0 });
+        // One-sided emptiness is still a failure on the populated side.
+        let prf = set_prf(&["a"], &[]);
+        assert_eq!(prf.precision, 0.0);
+        assert_eq!(prf.f1, 0.0);
+        let prf = set_prf::<&str>(&[], &["a"]);
+        assert_eq!(prf.recall, 0.0);
+        assert_eq!(prf.f1, 0.0);
     }
 
     #[test]

@@ -1,0 +1,300 @@
+//! A deliberately tiny HTTP/1.1 implementation — just enough protocol for
+//! `autosuggestd` and its loopback clients, std-only.
+//!
+//! Supported: request line + headers + `Content-Length` bodies, persistent
+//! connections (the daemon serves requests in a loop until EOF or
+//! `Connection: close`). Not supported, by design: chunked transfer
+//! encoding, HTTP/2, TLS, multipart — clients that need those belong
+//! behind a real proxy.
+//!
+//! Memory is bounded at every step: header lines, header count, and body
+//! size all have hard caps, so a malicious or confused peer cannot make
+//! the daemon buffer unbounded input.
+
+use std::io::{self, BufRead, Write};
+
+/// Longest accepted request line or header line, in bytes.
+const MAX_LINE_BYTES: usize = 16 * 1024;
+/// Most headers accepted per request.
+const MAX_HEADERS: usize = 100;
+
+/// A parsed request: method, path, and the raw body bytes.
+#[derive(Debug)]
+pub struct Request {
+    pub method: String,
+    pub path: String,
+    pub body: Vec<u8>,
+    /// Whether the peer asked to close the connection after this exchange.
+    pub close: bool,
+}
+
+/// Protocol-level failure while reading a request. `BodyTooLarge` is
+/// separated so callers can answer 413 instead of dropping the connection.
+#[derive(Debug)]
+pub enum HttpError {
+    Io(io::Error),
+    Malformed(String),
+    BodyTooLarge { limit: usize },
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpError::Io(e) => write!(f, "http: {e}"),
+            HttpError::Malformed(m) => write!(f, "http: malformed request: {m}"),
+            HttpError::BodyTooLarge { limit } => {
+                write!(f, "http: body exceeds {limit} byte limit")
+            }
+        }
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+impl From<io::Error> for HttpError {
+    fn from(e: io::Error) -> HttpError {
+        HttpError::Io(e)
+    }
+}
+
+/// Read one CRLF- (or LF-) terminated line, capped at [`MAX_LINE_BYTES`].
+/// Returns `None` on clean EOF before any byte.
+fn read_line(reader: &mut impl BufRead) -> Result<Option<String>, HttpError> {
+    let mut line = Vec::new();
+    let mut byte = [0u8; 1];
+    loop {
+        match reader.read(&mut byte) {
+            Ok(0) => {
+                if line.is_empty() {
+                    return Ok(None);
+                }
+                return Err(HttpError::Malformed("EOF mid-line".into()));
+            }
+            Ok(_) => {
+                if byte[0] == b'\n' {
+                    if line.last() == Some(&b'\r') {
+                        line.pop();
+                    }
+                    return String::from_utf8(line)
+                        .map(Some)
+                        .map_err(|_| HttpError::Malformed("non-UTF-8 header line".into()));
+                }
+                if line.len() >= MAX_LINE_BYTES {
+                    return Err(HttpError::Malformed("header line too long".into()));
+                }
+                line.push(byte[0]);
+            }
+            Err(e) => return Err(HttpError::Io(e)),
+        }
+    }
+}
+
+/// Read and parse one request. `Ok(None)` means the peer closed the
+/// connection cleanly between requests (normal keep-alive termination).
+pub fn read_request(
+    reader: &mut impl BufRead,
+    max_body_bytes: usize,
+) -> Result<Option<Request>, HttpError> {
+    let request_line = match read_line(reader)? {
+        None => return Ok(None),
+        Some(l) => l,
+    };
+    let mut parts = request_line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or_else(|| HttpError::Malformed("empty request line".into()))?
+        .to_string();
+    let path = parts
+        .next()
+        .ok_or_else(|| HttpError::Malformed("request line missing path".into()))?
+        .to_string();
+
+    let mut content_length = 0usize;
+    let mut close = false;
+    for _ in 0..MAX_HEADERS {
+        let line = read_line(reader)?
+            .ok_or_else(|| HttpError::Malformed("EOF inside headers".into()))?;
+        if line.is_empty() {
+            let body = read_body(reader, content_length, max_body_bytes)?;
+            return Ok(Some(Request { method, path, body, close }));
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| HttpError::Malformed(format!("header without colon: {line:?}")))?;
+        let value = value.trim();
+        if name.eq_ignore_ascii_case("content-length") {
+            content_length = value
+                .parse()
+                .map_err(|_| HttpError::Malformed(format!("bad content-length {value:?}")))?;
+        } else if name.eq_ignore_ascii_case("connection")
+            && value.eq_ignore_ascii_case("close")
+        {
+            close = true;
+        }
+    }
+    Err(HttpError::Malformed("too many headers".into()))
+}
+
+fn read_body(
+    reader: &mut impl BufRead,
+    content_length: usize,
+    max_body_bytes: usize,
+) -> Result<Vec<u8>, HttpError> {
+    if content_length > max_body_bytes {
+        return Err(HttpError::BodyTooLarge { limit: max_body_bytes });
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+    Ok(body)
+}
+
+/// Standard reason phrase for the handful of status codes the daemon uses.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Write a complete response with a JSON body and optional extra headers.
+pub fn write_response(
+    writer: &mut impl Write,
+    status: u16,
+    extra_headers: &[(&str, &str)],
+    body: &str,
+) -> io::Result<()> {
+    write!(
+        writer,
+        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\n",
+        status,
+        reason(status),
+        body.len()
+    )?;
+    for (name, value) in extra_headers {
+        write!(writer, "{name}: {value}\r\n")?;
+    }
+    write!(writer, "\r\n{body}")?;
+    writer.flush()
+}
+
+// ---------------------------------------------------------------------------
+// Client side — used by the load generator and the integration tests.
+// ---------------------------------------------------------------------------
+
+/// Write a request with a body (pass `""` for body-less GETs).
+pub fn write_request(
+    writer: &mut impl Write,
+    method: &str,
+    path: &str,
+    body: &str,
+) -> io::Result<()> {
+    write!(
+        writer,
+        "{method} {path} HTTP/1.1\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    )?;
+    writer.flush()
+}
+
+/// Read a response: `(status, body)`. Companion to [`write_request`];
+/// expects `Content-Length` framing (which [`write_response`] always
+/// produces).
+pub fn read_response(
+    reader: &mut impl BufRead,
+    max_body_bytes: usize,
+) -> Result<(u16, String), HttpError> {
+    let status_line = read_line(reader)?
+        .ok_or_else(|| HttpError::Malformed("EOF before status line".into()))?;
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| HttpError::Malformed(format!("bad status line {status_line:?}")))?;
+    let mut content_length = 0usize;
+    for _ in 0..MAX_HEADERS {
+        let line = read_line(reader)?
+            .ok_or_else(|| HttpError::Malformed("EOF inside headers".into()))?;
+        if line.is_empty() {
+            let body = read_body(reader, content_length, max_body_bytes)?;
+            let body = String::from_utf8(body)
+                .map_err(|_| HttpError::Malformed("non-UTF-8 response body".into()))?;
+            return Ok((status, body));
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().map_err(|_| {
+                    HttpError::Malformed(format!("bad content-length {value:?}"))
+                })?;
+            }
+        }
+    }
+    Err(HttpError::Malformed("too many headers".into()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(raw: &str) -> Result<Option<Request>, HttpError> {
+        read_request(&mut BufReader::new(raw.as_bytes()), 1024)
+    }
+
+    #[test]
+    fn parses_post_with_body() {
+        let req = parse("POST /suggest HTTP/1.1\r\nContent-Length: 4\r\n\r\nabcd")
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/suggest");
+        assert_eq!(req.body, b"abcd");
+        assert!(!req.close);
+    }
+
+    #[test]
+    fn parses_get_without_body_and_connection_close() {
+        let req = parse("GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.method, "GET");
+        assert!(req.body.is_empty());
+        assert!(req.close);
+    }
+
+    #[test]
+    fn clean_eof_is_none_not_error() {
+        assert!(parse("").unwrap().is_none());
+    }
+
+    #[test]
+    fn oversized_body_is_rejected_with_limit() {
+        let err = parse("POST /suggest HTTP/1.1\r\nContent-Length: 4096\r\n\r\n").unwrap_err();
+        assert!(matches!(err, HttpError::BodyTooLarge { limit: 1024 }));
+    }
+
+    #[test]
+    fn malformed_lines_are_errors() {
+        assert!(parse("NONSENSE\r\n\r\n").is_err());
+        assert!(parse("GET /x HTTP/1.1\r\nbadheader\r\n\r\n").is_err());
+        assert!(parse("GET /x HTTP/1.1\r\nContent-Length: nope\r\n\r\n").is_err());
+    }
+
+    #[test]
+    fn responses_roundtrip_through_the_parser_shape() {
+        let mut out = Vec::new();
+        write_response(&mut out, 429, &[("X-Trace-Id", "7")], "{\"error\":\"queue full\"}")
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 429 Too Many Requests\r\n"));
+        assert!(text.contains("X-Trace-Id: 7\r\n"));
+        assert!(text.ends_with("{\"error\":\"queue full\"}"));
+    }
+}

@@ -1,0 +1,53 @@
+//! `autosuggestd` — a long-running HTTP suggestion daemon over trained
+//! Auto-Suggest models.
+//!
+//! The library pipeline ([`autosuggest_core::pipeline::AutoSuggest`])
+//! answers one borrowed request at a time; this crate wraps it in a
+//! std-only HTTP/1.1 front end so notebook clients can query a warm,
+//! already-trained model over loopback instead of retraining per process:
+//!
+//! - **Wire format**: JSON requests/responses via
+//!   [`autosuggest_core::wire`], parsed with the vendored `serde_json`
+//!   shim — no external dependencies anywhere in the stack.
+//! - **Admission control**: a bounded [`queue::BatchQueue`]; when it is
+//!   full the daemon answers `429` immediately rather than buffering
+//!   unbounded memory.
+//! - **Micro-batching**: a single batcher thread drains the queue every
+//!   few milliseconds (or every `max_batch` requests, whichever first)
+//!   and answers the batch through the same warm-then-parallel-map path
+//!   as `suggest_batch`, so concurrent clients share column-sketch work.
+//! - **Hot reload**: `POST /admin/reload` trains a replacement model and
+//!   installs it with an atomic `Arc` swap
+//!   ([`autosuggest_core::model_slot::ModelSlot`]); in-flight batches
+//!   finish on the version they started with.
+//! - **Graceful degradation**: with `AUTOSUGGEST_FAULTS` set, injected
+//!   per-request featurisation faults (including real panics) error only
+//!   the affected request; the rest of the batch and the daemon survive.
+//!
+//! See `DESIGN.md` §12 for the protocol and determinism conventions, and
+//! the README quickstart for running the daemon.
+//!
+//! ```no_run
+//! use autosuggest_core::pipeline::{AutoSuggest, AutoSuggestConfig};
+//! use autosuggest_core::model_slot::ModelSlot;
+//! use std::sync::Arc;
+//!
+//! let system = AutoSuggest::train(AutoSuggestConfig::fast(42));
+//! let slot = Arc::new(ModelSlot::new(system));
+//! let server = autosuggest_server::serve(slot, Default::default()).unwrap();
+//! println!("listening on {}", server.addr());
+//! server.wait().unwrap();
+//! ```
+
+// The daemon must never die on a bad request — panicking escape hatches
+// are confined to tests.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+pub mod http;
+pub mod queue;
+mod server;
+
+pub use server::{
+    serve, Server, ServerConfig, FAULTS_INJECTED_COUNTER, REQUESTS_COUNTER,
+    RESPONSES_ERROR_COUNTER, RESPONSES_OK_COUNTER,
+};

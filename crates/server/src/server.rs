@@ -1,0 +1,524 @@
+//! The `autosuggestd` daemon core: accept loop, micro-batcher, routes.
+//!
+//! ## Architecture
+//!
+//! ```text
+//! clients ──► acceptor ──► handler threads ──► BatchQueue (bounded)
+//!                                                   │ drain (≤ max_batch, ≤ window)
+//!                                                   ▼
+//!                                              batcher thread
+//!                                  warm_tables + par_try_map over the pool
+//!                                                   │ per-job reply channel
+//!                                                   ▼
+//!                                          handler writes HTTP response
+//! ```
+//!
+//! Admission control is the queue bound: a full queue answers `429`
+//! immediately, so daemon memory is capped regardless of offered load.
+//! The batcher drains cross-request micro-batches and answers them via
+//! the same warm-then-map machinery as [`AutoSuggest::suggest_batch`],
+//! so concurrent clients share column-sketch work.
+//!
+//! ## Determinism contract
+//!
+//! The obs counters recorded under `server.` with plain names
+//! (`server.requests`, `server.responses_ok`, `server.responses_error`,
+//! `server.faults_injected`) are *per-request facts*: commutative sums of
+//! values that depend only on each request's content, never on how
+//! requests were partitioned into batches. They are bit-identical across
+//! thread counts and batch timings for a fixed request set, and they are
+//! what `/stats` exposes as the `"deterministic"` section. Everything
+//! scheduling-dependent — queue depth, batch count, batch sizes,
+//! busy rejections — uses the `_live` suffix so it lands in the obs
+//! timing view, and appears under `"live"` in `/stats`. (Counters
+//! recorded *below* the batch executor by other crates, e.g. cache
+//! warm-phase hits, are batching-dependent in a concurrent server; they
+//! are visible via the full obs snapshot, not the curated section.)
+//!
+//! ## Fault injection
+//!
+//! With `AUTOSUGGEST_FAULTS` set, each `/suggest` request rolls for an
+//! injected featurisation fault keyed on a hash of its body — a pure
+//! function of request content, so fault counts are deterministic too.
+//! `panic`-kind faults actually `panic!` inside the per-request closure
+//! and are contained by the pool's `catch_unwind`; every other kind
+//! surfaces as an error return. Either way the faulted request answers
+//! `500` while the rest of its batch completes normally.
+
+use crate::http::{self, HttpError, Request};
+use crate::queue::{BatchQueue, PushError};
+use autosuggest_core::model_slot::ModelSlot;
+use autosuggest_core::pipeline::{AutoSuggest, AutoSuggestConfig, SuggestResponse};
+use autosuggest_core::wire;
+use autosuggest_corpus::faults::{FaultKind, FaultSpec};
+use autosuggest_obs as obs;
+use autosuggest_parallel::TaskPanic;
+use serde_json::{json, Value};
+use std::collections::BTreeMap;
+use std::io::{self, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Obs counter names for the curated deterministic section of `/stats`.
+pub const REQUESTS_COUNTER: &str = "server.requests";
+pub const RESPONSES_OK_COUNTER: &str = "server.responses_ok";
+pub const RESPONSES_ERROR_COUNTER: &str = "server.responses_error";
+pub const FAULTS_INJECTED_COUNTER: &str = "server.faults_injected";
+
+/// Tuning knobs for one daemon instance.
+pub struct ServerConfig {
+    /// Bind address; use port 0 for an OS-assigned port.
+    pub addr: String,
+    /// Admission bound: jobs queued beyond this answer `429`.
+    pub queue_capacity: usize,
+    /// Micro-batch size cap.
+    pub max_batch: usize,
+    /// Micro-batch window past the first queued job.
+    pub batch_window: Duration,
+    /// Largest accepted request body.
+    pub max_body_bytes: usize,
+    /// Trains the replacement model for `POST /admin/reload`.
+    pub trainer: Box<dyn Fn(u64) -> AutoSuggest + Send + Sync>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            queue_capacity: 256,
+            max_batch: 32,
+            batch_window: Duration::from_millis(2),
+            max_body_bytes: 16 * 1024 * 1024,
+            trainer: Box::new(|seed| AutoSuggest::train(AutoSuggestConfig::fast(seed))),
+        }
+    }
+}
+
+/// One queued `/suggest` job. The handler thread blocks on `reply`.
+struct Job {
+    body_hash: u64,
+    request: wire::OwnedSuggestRequest,
+    reply: mpsc::Sender<JobOutcome>,
+}
+
+struct JobOutcome {
+    model_version: u64,
+    result: Result<SuggestResponse, String>,
+}
+
+/// Per-request failure inside the batch executor; `From<TaskPanic>` lets
+/// the pool demote a panicking request to this without aborting siblings.
+struct JobError(String);
+
+impl From<TaskPanic> for JobError {
+    fn from(p: TaskPanic) -> JobError {
+        JobError(format!("request panicked: {}", p.message))
+    }
+}
+
+struct Shared {
+    addr: SocketAddr,
+    slot: Arc<ModelSlot>,
+    queue: BatchQueue<Job>,
+    faults: Option<FaultSpec>,
+    ambient: obs::Ambient,
+    trace_ids: AtomicU64,
+    shutdown: AtomicBool,
+    started: Instant,
+    max_body_bytes: usize,
+    max_batch: usize,
+    batch_window: Duration,
+    trainer: Box<dyn Fn(u64) -> AutoSuggest + Send + Sync>,
+    /// Exact batch-size → count histogram, maintained by the (single)
+    /// batcher thread; scheduling-dependent, reported under `live`.
+    batch_sizes: Mutex<BTreeMap<usize, u64>>,
+    rejected_busy: AtomicU64,
+    reload_lock: Mutex<()>,
+}
+
+/// A running daemon. Dropping the handle does *not* stop it; call
+/// [`Server::shutdown`] (or hit `POST /admin/shutdown`) then
+/// [`Server::wait`].
+pub struct Server {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    acceptor: JoinHandle<()>,
+    batcher: JoinHandle<()>,
+}
+
+/// Bind, spawn the acceptor and batcher, and return the running handle.
+///
+/// Observability flows into whatever obs registry is ambient on the
+/// *calling* thread (the process-global one in the daemon; a local one in
+/// tests), captured once here and installed in every server thread.
+pub fn serve(slot: Arc<ModelSlot>, config: ServerConfig) -> io::Result<Server> {
+    let listener = TcpListener::bind(&config.addr)?;
+    let addr = listener.local_addr()?;
+    let shared = Arc::new(Shared {
+        addr,
+        slot,
+        queue: BatchQueue::new(config.queue_capacity),
+        faults: FaultSpec::from_env(),
+        ambient: obs::ambient(),
+        trace_ids: AtomicU64::new(1),
+        shutdown: AtomicBool::new(false),
+        started: Instant::now(),
+        max_body_bytes: config.max_body_bytes,
+        max_batch: config.max_batch,
+        batch_window: config.batch_window,
+        trainer: config.trainer,
+        batch_sizes: Mutex::new(BTreeMap::new()),
+        rejected_busy: AtomicU64::new(0),
+        reload_lock: Mutex::new(()),
+    });
+
+    let batcher = {
+        let shared = Arc::clone(&shared);
+        std::thread::spawn(move || {
+            let ambient = shared.ambient.clone();
+            obs::with_ambient(&ambient, || run_batcher(&shared));
+        })
+    };
+    let acceptor = {
+        let shared = Arc::clone(&shared);
+        std::thread::spawn(move || run_acceptor(listener, &shared))
+    };
+
+    Ok(Server { addr, shared, acceptor, batcher })
+}
+
+impl Server {
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Programmatic equivalent of `POST /admin/shutdown`.
+    pub fn shutdown(&self) {
+        begin_shutdown(&self.shared);
+    }
+
+    /// Block until the acceptor and batcher have exited (i.e. after a
+    /// shutdown was requested and in-flight work drained).
+    pub fn wait(self) -> io::Result<()> {
+        let join = |h: JoinHandle<()>, what: &str| {
+            h.join().map_err(|p| {
+                io::Error::other(format!(
+                    "{what} thread panicked: {}",
+                    autosuggest_parallel::panic_message(p.as_ref())
+                ))
+            })
+        };
+        join(self.acceptor, "acceptor")?;
+        join(self.batcher, "batcher")
+    }
+}
+
+fn begin_shutdown(shared: &Arc<Shared>) {
+    if shared.shutdown.swap(true, Ordering::SeqCst) {
+        return; // already shutting down
+    }
+    shared.queue.close();
+    // Unblock the acceptor's blocking `accept` with a throwaway connection.
+    let _ = TcpStream::connect(shared.addr);
+}
+
+// ---------------------------------------------------------------------------
+// Acceptor + per-connection handler
+// ---------------------------------------------------------------------------
+
+fn run_acceptor(listener: TcpListener, shared: &Arc<Shared>) {
+    for stream in listener.incoming() {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        // Responses are single small writes; Nagle only adds latency here.
+        let _ = stream.set_nodelay(true);
+        let shared = Arc::clone(shared);
+        std::thread::spawn(move || {
+            let ambient = shared.ambient.clone();
+            obs::with_ambient(&ambient, || handle_connection(stream, &shared));
+        });
+    }
+}
+
+fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
+    let Ok(read_half) = stream.try_clone() else { return };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = stream;
+    loop {
+        match http::read_request(&mut reader, shared.max_body_bytes) {
+            Ok(None) => return, // clean keep-alive EOF
+            Ok(Some(req)) => {
+                let close = req.close;
+                if handle_request(&mut writer, req, shared).is_err() {
+                    return; // peer went away mid-response
+                }
+                if close {
+                    return;
+                }
+            }
+            Err(HttpError::BodyTooLarge { limit }) => {
+                let body = json!({"error": format!("body exceeds {limit} byte limit")});
+                let _ = http::write_response(&mut writer, 413, &[], &body.to_string());
+                return;
+            }
+            Err(HttpError::Malformed(m)) => {
+                let body = json!({"error": format!("malformed request: {m}")});
+                let _ = http::write_response(&mut writer, 400, &[], &body.to_string());
+                return;
+            }
+            Err(HttpError::Io(_)) => return,
+        }
+    }
+}
+
+fn handle_request(writer: &mut impl Write, req: Request, shared: &Arc<Shared>) -> io::Result<()> {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("POST", "/suggest") => handle_suggest(writer, &req.body, shared),
+        ("GET", "/healthz") => {
+            let body = json!({
+                "status": "ok",
+                "model_version": shared.slot.version(),
+            });
+            http::write_response(writer, 200, &[], &body.to_string())
+        }
+        ("GET", "/stats") => {
+            http::write_response(writer, 200, &[], &stats_value(shared).to_string())
+        }
+        ("POST", "/admin/reload") => handle_reload(writer, &req.body, shared),
+        ("POST", "/admin/shutdown") => {
+            let body = json!({"status": "shutting down"});
+            http::write_response(writer, 200, &[], &body.to_string())?;
+            // Respond first so the client sees the acknowledgement even
+            // though the acceptor is about to stop taking connections.
+            begin_shutdown(shared);
+            Ok(())
+        }
+        ("POST" | "GET", _) => {
+            let body = json!({"error": format!("no such endpoint: {}", req.path)});
+            http::write_response(writer, 404, &[], &body.to_string())
+        }
+        (method, _) => {
+            let body = json!({"error": format!("method {method} not supported")});
+            http::write_response(writer, 405, &[], &body.to_string())
+        }
+    }
+}
+
+fn handle_suggest(writer: &mut impl Write, body: &[u8], shared: &Arc<Shared>) -> io::Result<()> {
+    let trace_id = shared.trace_ids.fetch_add(1, Ordering::Relaxed);
+    let trace_header = trace_id.to_string();
+    let headers = [("X-Trace-Id", trace_header.as_str())];
+    let _span = obs::span("server.request");
+    // Per-trace child spans make every request individually visible in
+    // the obs tree, at unbounded span-path cardinality — debugging only.
+    let _trace_span = trace_requests_enabled().then(|| obs::span(&format!("t{trace_id}")));
+    obs::counter_add(REQUESTS_COUNTER, 1);
+
+    let parsed = std::str::from_utf8(body)
+        .map_err(|_| "body is not UTF-8".to_string())
+        .and_then(|text| serde_json::from_str(text).map_err(|e| format!("bad JSON: {e}")))
+        .and_then(|v: Value| wire::decode_request(&v).map_err(|e| e.to_string()));
+    let request = match parsed {
+        Ok(r) => r,
+        Err(msg) => {
+            obs::counter_add(RESPONSES_ERROR_COUNTER, 1);
+            let body = json!({"trace_id": trace_id, "error": msg});
+            return http::write_response(writer, 400, &headers, &body.to_string());
+        }
+    };
+
+    let (tx, rx) = mpsc::channel();
+    let job = Job { body_hash: fnv1a64(body), request, reply: tx };
+    match shared.queue.try_push(job) {
+        Ok(()) => {}
+        Err(PushError::Full) => {
+            shared.rejected_busy.fetch_add(1, Ordering::Relaxed);
+            obs::counter_add("server.rejected_busy_live", 1);
+            let body = json!({"trace_id": trace_id, "error": "queue full, retry later"});
+            return http::write_response(writer, 429, &headers, &body.to_string());
+        }
+        Err(PushError::Closed) => {
+            let body = json!({"trace_id": trace_id, "error": "server shutting down"});
+            return http::write_response(writer, 503, &headers, &body.to_string());
+        }
+    }
+
+    match rx.recv() {
+        Ok(JobOutcome { model_version, result: Ok(response) }) => {
+            obs::counter_add(RESPONSES_OK_COUNTER, 1);
+            let body = json!({
+                "trace_id": trace_id,
+                "model_version": model_version,
+                "response": wire::encode_response(&response),
+            });
+            http::write_response(writer, 200, &headers, &body.to_string())
+        }
+        Ok(JobOutcome { result: Err(msg), .. }) => {
+            obs::counter_add(RESPONSES_ERROR_COUNTER, 1);
+            let body = json!({"trace_id": trace_id, "error": msg});
+            http::write_response(writer, 500, &headers, &body.to_string())
+        }
+        Err(_) => {
+            // Batcher dropped the reply channel without answering — only
+            // possible if it is shutting down mid-flight.
+            obs::counter_add(RESPONSES_ERROR_COUNTER, 1);
+            let body = json!({"trace_id": trace_id, "error": "server shutting down"});
+            http::write_response(writer, 503, &headers, &body.to_string())
+        }
+    }
+}
+
+fn handle_reload(writer: &mut impl Write, body: &[u8], shared: &Arc<Shared>) -> io::Result<()> {
+    let seed = std::str::from_utf8(body)
+        .ok()
+        .and_then(|text| serde_json::from_str(text).ok())
+        .and_then(|v: Value| v.get("seed").and_then(Value::as_i64))
+        .and_then(|s| u64::try_from(s).ok());
+    let Some(seed) = seed else {
+        let body = json!({"error": "reload body must be {\"seed\": <u64>}"});
+        return http::write_response(writer, 400, &[], &body.to_string());
+    };
+    // One reload at a time; concurrent requests queue behind the lock
+    // rather than training redundant models in parallel.
+    let _guard = shared
+        .reload_lock
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner());
+    let replacement = (shared.trainer)(seed);
+    let version = shared.slot.swap(replacement);
+    obs::counter_add("server.model_swaps", 1);
+    let body = json!({"status": "reloaded", "model_version": version, "seed": seed});
+    http::write_response(writer, 200, &[], &body.to_string())
+}
+
+// ---------------------------------------------------------------------------
+// Batcher
+// ---------------------------------------------------------------------------
+
+fn run_batcher(shared: &Arc<Shared>) {
+    while let Some(jobs) = shared.queue.drain_batch(shared.max_batch, shared.batch_window) {
+        if jobs.is_empty() {
+            continue;
+        }
+        execute_batch(&jobs, shared);
+    }
+}
+
+fn execute_batch(jobs: &[Job], shared: &Arc<Shared>) {
+    obs::counter_add("server.batches_live", 1);
+    obs::observe("server.batch_size_live", jobs.len() as f64);
+    obs::gauge_set("server.queue_depth_live", shared.queue.len() as f64);
+    if let Ok(mut sizes) = shared.batch_sizes.lock() {
+        *sizes.entry(jobs.len()).or_insert(0) += 1;
+    }
+
+    let model = shared.slot.load();
+    let requests: Vec<_> = jobs.iter().map(|j| j.request.as_request()).collect();
+    // Warm shared column sketches across the whole batch. Guarded: a
+    // panic during warming must degrade to per-request computation, not
+    // kill the batcher.
+    let ambient = obs::ambient();
+    let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        obs::with_ambient(&ambient, || model.system.warm_tables(&requests))
+    }));
+
+    let results: Vec<Result<SuggestResponse, JobError>> =
+        autosuggest_parallel::par_try_map(jobs, |job| {
+            if let Some(kind) = injected_fault(shared, job.body_hash) {
+                obs::counter_add(FAULTS_INJECTED_COUNTER, 1);
+                if kind == FaultKind::Panic {
+                    // A genuine panic, contained by the pool's catch_unwind:
+                    // proves one poisoned request cannot take down the batch.
+                    panic!("injected {} fault", kind.as_str());
+                }
+                return Err(JobError(format!(
+                    "injected {} fault during featurisation",
+                    kind.as_str()
+                )));
+            }
+            Ok(model.system.suggest(&job.request.as_request()))
+        });
+
+    for (job, result) in jobs.iter().zip(results) {
+        let outcome = JobOutcome {
+            model_version: model.version,
+            result: result.map_err(|JobError(msg)| msg),
+        };
+        // A send error means the handler gave up (connection died); the
+        // computed answer is simply dropped.
+        let _ = job.reply.send(outcome);
+    }
+}
+
+/// Roll the fault table for a request, keyed purely on its body hash so
+/// injection is a deterministic property of request *content*, not of
+/// arrival order or batch placement.
+fn injected_fault(shared: &Arc<Shared>, body_hash: u64) -> Option<FaultKind> {
+    let spec = shared.faults.as_ref()?;
+    spec.fault_for(&format!("req:{body_hash:016x}"), 0, 0, 0)
+}
+
+fn trace_requests_enabled() -> bool {
+    static ENABLED: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *ENABLED.get_or_init(|| {
+        std::env::var("AUTOSUGGEST_TRACE_REQUESTS").is_ok_and(|v| v == "1")
+    })
+}
+
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+// ---------------------------------------------------------------------------
+// Stats
+// ---------------------------------------------------------------------------
+
+/// Build the `/stats` document. The `"deterministic"` section is the
+/// curated, thread- and timing-invariant slice (see module docs); CI
+/// diffs its rendering byte-for-byte across thread counts.
+fn stats_value(shared: &Arc<Shared>) -> Value {
+    let snapshot = obs::snapshot();
+    let mut deterministic = serde_json::Map::new();
+    for (name, value) in &snapshot.counters {
+        if name.starts_with("server.") && !obs::is_timing_name(name) {
+            deterministic.insert(name.clone(), Value::from(*value));
+        }
+    }
+
+    let sizes = shared
+        .batch_sizes
+        .lock()
+        .map(|m| {
+            let mut hist = serde_json::Map::new();
+            for (size, count) in m.iter() {
+                hist.insert(size.to_string(), Value::from(*count));
+            }
+            Value::Object(hist)
+        })
+        .unwrap_or(Value::Null);
+
+    json!({
+        "deterministic": Value::Object(deterministic),
+        "live": {
+            "queue_depth": shared.queue.len(),
+            "queue_capacity": shared.queue.capacity(),
+            "rejected_busy": shared.rejected_busy.load(Ordering::Relaxed),
+            "batch_sizes": sizes,
+            "uptime_seconds": shared.started.elapsed().as_secs_f64(),
+        },
+        "model": {
+            "version": shared.slot.version(),
+        },
+    })
+}

@@ -23,7 +23,10 @@
 //! * [`cache`] — the content-addressed column-artifact cache (128-bit
 //!   multiset fingerprints → interned sketches/statistics; on by default,
 //!   `AUTOSUGGEST_CACHE=0` disables, hit/miss/eviction counters land in the
-//!   deterministic obs section).
+//!   deterministic obs section);
+//! * [`server`] — `autosuggestd`, the long-running HTTP suggestion daemon
+//!   (bounded admission queue, cross-request micro-batching, versioned
+//!   model hot-reload, JSON wire format from [`core::wire`]).
 //!
 //! ```no_run
 //! use auto_suggest::core::{AutoSuggest, AutoSuggestConfig};
@@ -50,3 +53,4 @@ pub use autosuggest_graph as graph;
 pub use autosuggest_nn as nn;
 pub use autosuggest_obs as obs;
 pub use autosuggest_ranking as ranking;
+pub use autosuggest_server as server;

@@ -1,0 +1,121 @@
+//! Graceful degradation under injected faults: with `AUTOSUGGEST_FAULTS`
+//! set, some `/suggest` requests fail with `500` — but only those
+//! requests. Batch siblings answer normally, the daemon never dies, and
+//! the injected-fault counter is a pure function of request content
+//! (verified by running the identical workload twice and comparing).
+//!
+//! Lives in its own integration-test binary because it mutates the
+//! process environment before starting the daemon.
+
+use auto_suggest::core::model_slot::ModelSlot;
+use auto_suggest::core::wire::{self, OwnedSuggestRequest};
+use auto_suggest::core::{AutoSuggest, AutoSuggestConfig};
+use auto_suggest::dataframe::{DataFrame, Value as Cell};
+use auto_suggest::server::{http, serve};
+use serde_json::Value;
+use std::io::BufReader;
+use std::net::TcpStream;
+use std::sync::Arc;
+
+fn call(addr: &str, method: &str, path: &str, body: &str) -> (u16, Value) {
+    let stream = TcpStream::connect(addr).expect("connect");
+    stream.set_nodelay(true).expect("nodelay");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut writer = stream;
+    http::write_request(&mut writer, method, path, body).expect("send");
+    let (status, text) = http::read_response(&mut reader, 16 << 20).expect("recv");
+    (status, serde_json::from_str(&text).expect("JSON body"))
+}
+
+fn bodies() -> Vec<String> {
+    // Enough distinct requests that a 30% panic rate hits some of them.
+    (0..16)
+        .map(|i| {
+            let table = DataFrame::from_columns(vec![
+                ("key", (0..20).map(|r| Cell::Int(r + i)).collect()),
+                (
+                    "label",
+                    (0..20).map(|r| Cell::Str(format!("v{}", (r + i) % 5))).collect(),
+                ),
+                ("metric", (0..20).map(|r| Cell::Float((r + i) as f64 / 3.0)).collect()),
+            ])
+            .unwrap();
+            let req = OwnedSuggestRequest::GroupBy { table };
+            wire::encode_request(&req.as_request()).to_string()
+        })
+        .collect()
+}
+
+fn drive(addr: &str, bodies: &[String]) -> (u64, u64) {
+    let results: Vec<(u16, Value)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = bodies
+            .iter()
+            .map(|body| {
+                scope.spawn(move || call(addr, "POST", "/suggest", body))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("client")).collect()
+    });
+    let mut ok = 0;
+    let mut faulted = 0;
+    for (status, v) in results {
+        match status {
+            200 => {
+                assert!(v.get("response").is_some());
+                ok += 1;
+            }
+            500 => {
+                let msg = v.get("error").and_then(Value::as_str).unwrap_or_default();
+                assert!(
+                    msg.contains("injected"),
+                    "500 without injected-fault marker: {msg}"
+                );
+                faulted += 1;
+            }
+            other => panic!("unexpected status {other}: {v}"),
+        }
+    }
+    (ok, faulted)
+}
+
+#[test]
+fn injected_faults_error_single_requests_never_the_daemon() {
+    // Must be set before `serve` reads it. Rates chosen so both the
+    // panic path (contained by catch_unwind) and the error-return path
+    // are exercised across 16 distinct request bodies.
+    std::env::set_var("AUTOSUGGEST_FAULTS", "seed=11,panic=0.2,io=0.2");
+
+    let system = AutoSuggest::train(AutoSuggestConfig::fast(3));
+    let slot = Arc::new(ModelSlot::new(system));
+    let server = serve(slot, Default::default()).expect("bind");
+    let addr = server.addr().to_string();
+    let bodies = bodies();
+
+    let (ok_a, faulted_a) = drive(&addr, &bodies);
+    assert!(faulted_a > 0, "fault spec injected nothing across 16 requests");
+    assert!(ok_a > 0, "every request faulted — siblings did not survive");
+    assert_eq!(ok_a + faulted_a, bodies.len() as u64);
+
+    // Same workload again: fault placement is content-keyed, so the
+    // split must repeat exactly, and the daemon is still healthy.
+    let (ok_b, faulted_b) = drive(&addr, &bodies);
+    assert_eq!((ok_a, faulted_a), (ok_b, faulted_b));
+
+    let (status, stats) = call(&addr, "GET", "/stats", "");
+    assert_eq!(status, 200);
+    let det = stats.get("deterministic").expect("deterministic section");
+    assert_eq!(
+        det.get("server.faults_injected").and_then(Value::as_i64),
+        Some(2 * faulted_a as i64)
+    );
+    assert_eq!(
+        det.get("server.responses_error").and_then(Value::as_i64),
+        Some(2 * faulted_a as i64)
+    );
+
+    let (status, _) = call(&addr, "GET", "/healthz", "");
+    assert_eq!(status, 200, "daemon unhealthy after fault storm");
+
+    server.shutdown();
+    server.wait().expect("clean shutdown");
+}

@@ -1,0 +1,209 @@
+//! End-to-end daemon tests: a real `autosuggestd` server on a loopback
+//! port, driven over TCP by concurrent clients.
+//!
+//! The load-bearing assertion is *bit-for-bit equivalence*: the JSON a
+//! served request answers with must render identically to encoding the
+//! response of a direct in-process `AutoSuggest::suggest` call on the
+//! same model. Plus: health/stats endpoints, 400s for malformed bodies,
+//! 404s for unknown routes, versioned hot-reload, and graceful shutdown.
+
+use auto_suggest::core::model_slot::ModelSlot;
+use auto_suggest::core::wire::{self, OwnedSuggestRequest};
+use auto_suggest::core::{AutoSuggest, AutoSuggestConfig};
+use auto_suggest::dataframe::{DataFrame, Value as Cell};
+use auto_suggest::server::{http, serve, Server, ServerConfig};
+use serde_json::Value;
+use std::io::BufReader;
+use std::net::TcpStream;
+use std::sync::Arc;
+
+const MAX_RESPONSE: usize = 64 * 1024 * 1024;
+
+fn call(addr: &str, method: &str, path: &str, body: &str) -> (u16, Value) {
+    let stream = TcpStream::connect(addr).expect("connect");
+    stream.set_nodelay(true).expect("nodelay");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut writer = stream;
+    http::write_request(&mut writer, method, path, body).expect("send");
+    let (status, text) = http::read_response(&mut reader, MAX_RESPONSE).expect("recv");
+    let value = serde_json::from_str(&text)
+        .unwrap_or_else(|e| panic!("non-JSON body from {path}: {e}\n{text}"));
+    (status, value)
+}
+
+fn mixed_requests() -> Vec<OwnedSuggestRequest> {
+    let customers = DataFrame::from_columns(vec![
+        ("customer_id", (0..30).map(Cell::Int).collect()),
+        (
+            "segment",
+            (0..30)
+                .map(|i| Cell::Str(["retail", "wholesale"][i % 2].to_string()))
+                .collect(),
+        ),
+        ("balance", (0..30).map(|i| Cell::Float(i as f64 * 1.5)).collect()),
+    ])
+    .unwrap();
+    let orders = DataFrame::from_columns(vec![
+        ("customer_id", (0..30).map(|i| Cell::Int(i % 10)).collect()),
+        ("total", (0..30).map(|i| Cell::Float(100.0 + i as f64)).collect()),
+    ])
+    .unwrap();
+    let sales = DataFrame::from_columns(vec![
+        (
+            "region",
+            (0..40)
+                .map(|i| Cell::Str(["n", "s", "e", "w"][i % 4].to_string()))
+                .collect(),
+        ),
+        ("year", (0..40).map(|i| Cell::Int(2020 + (i as i64 % 3))).collect()),
+        ("revenue", (0..40).map(|i| Cell::Float(i as f64 * 7.25)).collect()),
+    ])
+    .unwrap();
+    let wide = DataFrame::from_columns(vec![
+        ("id", (0..20).map(Cell::Int).collect()),
+        ("q1", (0..20).map(|i| Cell::Float(i as f64)).collect()),
+        ("q2", (0..20).map(|i| Cell::Float(i as f64 + 0.5)).collect()),
+        ("q3", (0..20).map(|i| Cell::Float(i as f64 + 0.25)).collect()),
+    ])
+    .unwrap();
+    vec![
+        OwnedSuggestRequest::Join { left: customers.clone(), right: orders, top_k: 3 },
+        OwnedSuggestRequest::GroupBy { table: sales.clone() },
+        OwnedSuggestRequest::Pivot { table: sales, dims: vec![0, 1] },
+        OwnedSuggestRequest::Unpivot { table: wide },
+        OwnedSuggestRequest::GroupBy { table: customers },
+    ]
+}
+
+/// Train once, compute the expected (directly-suggested) response
+/// renderings, then move the system into a served daemon.
+fn start_server() -> (Server, Vec<String>, Vec<String>) {
+    let system = AutoSuggest::train(AutoSuggestConfig::fast(3));
+    let requests = mixed_requests();
+    let bodies: Vec<String> = requests
+        .iter()
+        .map(|r| wire::encode_request(&r.as_request()).to_string())
+        .collect();
+    let expected: Vec<String> = requests
+        .iter()
+        .map(|r| wire::encode_response(&system.suggest(&r.as_request())).to_string())
+        .collect();
+    let slot = Arc::new(ModelSlot::new(system));
+    let config = ServerConfig {
+        // Cheap reload trainer so the hot-reload test stays fast.
+        trainer: Box::new(|seed| AutoSuggest::train(AutoSuggestConfig::fast(seed))),
+        ..Default::default()
+    };
+    // Both tests in this binary run concurrently in one process; giving
+    // each daemon its own obs registry (captured as the serve-time
+    // ambient) keeps their `/stats` counters from cross-contaminating.
+    let (server, _empty_snapshot) =
+        auto_suggest::obs::with_local_registry(|| serve(slot, config).expect("bind loopback"));
+    (server, bodies, expected)
+}
+
+#[test]
+fn served_responses_are_bit_for_bit_equal_to_direct_suggest() {
+    let (server, bodies, expected) = start_server();
+    let addr = server.addr().to_string();
+
+    // Health first.
+    let (status, health) = call(&addr, "GET", "/healthz", "");
+    assert_eq!(status, 200);
+    assert_eq!(health.get("model_version").and_then(Value::as_i64), Some(1));
+
+    // Fire every request from its own concurrent client, twice (the
+    // second round hits warm caches — answers must not change).
+    for round in 0..2 {
+        let answers: Vec<(usize, u16, Value)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = bodies
+                .iter()
+                .enumerate()
+                .map(|(i, body)| {
+                    let addr = addr.clone();
+                    scope.spawn(move || {
+                        let (status, v) = call(&addr, "POST", "/suggest", body);
+                        (i, status, v)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("client")).collect()
+        });
+        for (i, status, v) in answers {
+            assert_eq!(status, 200, "round {round} request {i}: {v}");
+            assert!(v.get("trace_id").and_then(Value::as_i64).is_some());
+            assert_eq!(v.get("model_version").and_then(Value::as_i64), Some(1));
+            let served = v.get("response").expect("response field").to_string();
+            assert_eq!(
+                served, expected[i],
+                "round {round} request {i}: served response diverged from direct suggest"
+            );
+        }
+    }
+
+    // Decoding the served payload yields a valid SuggestResponse too.
+    let (_, v) = call(&addr, "POST", "/suggest", &bodies[0]);
+    let decoded = wire::decode_response(v.get("response").unwrap()).expect("decodable");
+    assert_eq!(wire::encode_response(&decoded).to_string(), expected[0]);
+
+    // Stats reflect the traffic: the curated deterministic section counts
+    // every request above as ok.
+    let (status, stats) = call(&addr, "GET", "/stats", "");
+    assert_eq!(status, 200);
+    let det = stats.get("deterministic").expect("deterministic section");
+    let requests = det.get("server.requests").and_then(Value::as_i64).unwrap_or(0);
+    let ok = det.get("server.responses_ok").and_then(Value::as_i64).unwrap_or(0);
+    assert_eq!(requests, 2 * bodies.len() as i64 + 1);
+    assert_eq!(ok, requests);
+    assert!(det.get("server.responses_error").is_none());
+
+    server.shutdown();
+    server.wait().expect("clean shutdown");
+}
+
+#[test]
+fn bad_requests_unknown_routes_and_reload_then_shutdown() {
+    let (server, bodies, _expected) = start_server();
+    let addr = server.addr().to_string();
+
+    // Malformed JSON → 400 with an error message and a trace id.
+    let (status, v) = call(&addr, "POST", "/suggest", "{not json");
+    assert_eq!(status, 400);
+    assert!(v.get("error").and_then(Value::as_str).is_some());
+    assert!(v.get("trace_id").is_some());
+
+    // Valid JSON, invalid request document → 400.
+    let (status, v) = call(&addr, "POST", "/suggest", r#"{"op":"teleport"}"#);
+    assert_eq!(status, 400);
+    let msg = v.get("error").and_then(Value::as_str).unwrap_or_default();
+    assert!(msg.contains("unknown op"), "unhelpful error: {msg}");
+
+    // Unknown route → 404; unsupported method → 405.
+    let (status, _) = call(&addr, "GET", "/nope", "");
+    assert_eq!(status, 404);
+    let (status, _) = call(&addr, "DELETE", "/suggest", "");
+    assert_eq!(status, 405);
+
+    // Hot reload: version bumps, daemon answers on the new model.
+    let (status, v) = call(&addr, "POST", "/admin/reload", r#"{"seed": 5}"#);
+    assert_eq!(status, 200, "{v}");
+    assert_eq!(v.get("model_version").and_then(Value::as_i64), Some(2));
+    let (status, v) = call(&addr, "GET", "/healthz", "");
+    assert_eq!(status, 200);
+    assert_eq!(v.get("model_version").and_then(Value::as_i64), Some(2));
+    let (status, v) = call(&addr, "POST", "/suggest", &bodies[1]);
+    assert_eq!(status, 200);
+    assert_eq!(v.get("model_version").and_then(Value::as_i64), Some(2));
+
+    // Bad reload body → 400, version unchanged.
+    let (status, _) = call(&addr, "POST", "/admin/reload", r#"{"sneed": 1}"#);
+    assert_eq!(status, 400);
+    let (_, v) = call(&addr, "GET", "/healthz", "");
+    assert_eq!(v.get("model_version").and_then(Value::as_i64), Some(2));
+
+    // HTTP-level shutdown: acknowledged, then the daemon drains and exits.
+    let (status, v) = call(&addr, "POST", "/admin/shutdown", "{}");
+    assert_eq!(status, 200);
+    assert_eq!(v.get("status").and_then(Value::as_str), Some("shutting down"));
+    server.wait().expect("clean shutdown after HTTP request");
+}
