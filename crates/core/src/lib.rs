@@ -27,6 +27,7 @@ pub mod model_slot;
 pub mod nextop;
 pub mod pipeline;
 pub mod pivot;
+pub mod retrain;
 pub mod unpivot;
 pub mod wire;
 
@@ -39,5 +40,6 @@ pub use pipeline::{
 };
 pub use model_slot::{ModelSlot, VersionedModel};
 pub use pivot::{PivotPredictor, PivotSuggestion};
+pub use retrain::{RetrainDelta, RetrainPlanner, RetrainReport, RetrainStrategy};
 pub use unpivot::{UnpivotPredictor, UnpivotSuggestion};
 pub use wire::{OwnedSuggestRequest, WireError};

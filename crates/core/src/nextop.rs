@@ -182,6 +182,35 @@ impl NextOpPredictor {
         NextOpPredictor { cfg, rnn }
     }
 
+    /// Warm-start fine-tuning: clone `prev` and continue training its RNN
+    /// over `examples` for another `cfg.epochs` epochs (fresh optimiser
+    /// moments, resumed weights). This is the *approximate* incremental
+    /// path — the result is deterministic (same prev + same examples ⇒
+    /// same bits) but is **not** claimed equal to retraining from scratch
+    /// on any union; callers opt in via the planner's warm strategy and
+    /// give up the exactness guarantee in exchange for touching only the
+    /// (reservoir-bounded) example buffer. `SingleOperators` predictors
+    /// have nothing to tune and come back as plain clones.
+    pub fn train_continue_from(prev: &NextOpPredictor, examples: &[NextOpExample]) -> Self {
+        let mut next = prev.clone();
+        if let Some(rnn) = &mut next.rnn {
+            let extra_dim = if next.cfg.mode == NextOpMode::Full { NUM_OPS } else { 0 };
+            let seq_examples: Vec<SequenceExample> = examples
+                .iter()
+                .map(|e| SequenceExample {
+                    prefix: e.prefix.clone(),
+                    extra: if extra_dim > 0 { e.table_scores.clone() } else { vec![] },
+                    label: e.label,
+                })
+                .collect();
+            let started = std::time::Instant::now();
+            let mut state = rnn.train_state();
+            rnn.train_continue(&seq_examples, &mut state);
+            autosuggest_obs::observe_since("nextop.rnn_train_seconds", started);
+        }
+        next
+    }
+
     /// Operator ids ranked by likelihood of coming next.
     pub fn predict_ranked(&self, prefix: &[usize], table_scores: &[f64]) -> Vec<usize> {
         match (&self.rnn, self.cfg.mode) {

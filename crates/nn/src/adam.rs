@@ -58,6 +58,11 @@ impl Adam {
         self.t += 1;
     }
 
+    /// Number of steps taken so far (the bias-correction counter `t`).
+    pub fn steps(&self) -> u64 {
+        self.t
+    }
+
     /// Apply one Adam update to the tensor registered at `slot`.
     pub fn update(&mut self, slot: usize, param: &mut [f64], grad: &[f64]) {
         assert!(self.t > 0, "call begin_step before update");

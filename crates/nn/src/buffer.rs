@@ -1,0 +1,162 @@
+//! Seeded reservoir sampling for bounded training-example buffers.
+//!
+//! A long-running daemon that keeps folding freshly replayed invocations
+//! into its models cannot let the training set grow without bound.
+//! [`ExampleBuffer`] caps it with the classic Algorithm R reservoir: after
+//! `t` items have been offered, every one of them is retained with
+//! probability `capacity / t` — but with *stateless* per-item randomness.
+//!
+//! Instead of drawing from a sequential RNG (whose stream position would
+//! depend on how pushes were chunked), the replacement index for the
+//! `t`-th offered item is a pure function of `(seed, t)`:
+//!
+//! ```text
+//! j = splitmix64(seed ^ mix(t)) mod (t + 1)      // keep if j < capacity
+//! ```
+//!
+//! The only mutable state is the count of items seen, so the retained set
+//! after `n` offers is byte-identical no matter how the offers were
+//! batched — one `extend(..)` of `n` items, `n` single `push(..)` calls,
+//! or any interleaving across restarts — and trivially invariant to
+//! `AUTOSUGGEST_THREADS` (the buffer itself is single-writer; callers fan
+//! in *in a fixed order*, which the planner guarantees by offering
+//! examples in canonical corpus order).
+//!
+//! When `capacity >= total offers`, nothing is ever evicted and the buffer
+//! is exactly the input sequence in insertion order — the planner relies
+//! on this to make "reservoir keeps everything" retrains bit-identical to
+//! training on the union.
+
+/// A bounded, seeded reservoir of training examples (Algorithm R with
+/// per-index stateless randomness; see module docs).
+#[derive(Debug, Clone)]
+pub struct ExampleBuffer<T> {
+    capacity: usize,
+    seed: u64,
+    seen: u64,
+    items: Vec<T>,
+}
+
+/// SplitMix64 finalizer: a high-quality 64-bit mix, used here to turn
+/// `(seed, index)` into an independent uniform draw per offered item.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl<T> ExampleBuffer<T> {
+    /// An empty reservoir holding at most `capacity` items.
+    pub fn new(capacity: usize, seed: u64) -> Self {
+        assert!(capacity > 0, "reservoir capacity must be positive");
+        ExampleBuffer { capacity, seed, seen: 0, items: Vec::new() }
+    }
+
+    /// Offer one item. Until the reservoir is full this always retains it
+    /// (in insertion order); afterwards the item replaces a uniformly
+    /// chosen resident with probability `capacity / seen`.
+    pub fn push(&mut self, item: T) {
+        let t = self.seen;
+        self.seen += 1;
+        if self.items.len() < self.capacity {
+            self.items.push(item);
+            return;
+        }
+        // Uniform draw over [0, t]: t ≥ capacity ≥ 1 here, and the modulo
+        // bias over a 64-bit mix is negligible for any realistic t.
+        let j = splitmix64(self.seed ^ splitmix64(t)) % (t + 1);
+        if (j as usize) < self.capacity {
+            self.items[j as usize] = item;
+        }
+    }
+
+    /// Offer every item of an iterator, in order.
+    pub fn extend<I: IntoIterator<Item = T>>(&mut self, iter: I) {
+        for item in iter {
+            self.push(item);
+        }
+    }
+
+    /// The retained items. Positions `< capacity` fill in insertion order;
+    /// once eviction starts, slot contents are seed-determined.
+    pub fn items(&self) -> &[T] {
+        &self.items
+    }
+
+    /// Consume the buffer, yielding the retained items.
+    pub fn into_items(self) -> Vec<T> {
+        self.items
+    }
+
+    /// Number of items currently retained (`min(seen, capacity)`).
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when no item has been retained yet.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Total number of items ever offered.
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// The retention bound this reservoir was built with.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn below_capacity_keeps_everything_in_order() {
+        let mut buf = ExampleBuffer::new(16, 7);
+        buf.extend(0..10);
+        assert_eq!(buf.items(), (0..10).collect::<Vec<_>>().as_slice());
+        assert_eq!(buf.len(), 10);
+        assert_eq!(buf.seen(), 10);
+    }
+
+    #[test]
+    fn at_exact_capacity_is_the_identity() {
+        let mut buf = ExampleBuffer::new(10, 99);
+        buf.extend(0..10);
+        assert_eq!(buf.items(), (0..10).collect::<Vec<_>>().as_slice());
+    }
+
+    #[test]
+    fn chunking_does_not_change_the_retained_set() {
+        let total: Vec<u32> = (0..500).collect();
+        let mut whole = ExampleBuffer::new(20, 42);
+        whole.extend(total.iter().copied());
+        for chunk_size in [1usize, 3, 7, 50, 499] {
+            let mut chunked = ExampleBuffer::new(20, 42);
+            for chunk in total.chunks(chunk_size) {
+                chunked.extend(chunk.iter().copied());
+            }
+            assert_eq!(chunked.items(), whole.items(), "chunk size {chunk_size}");
+            assert_eq!(chunked.seen(), whole.seen());
+        }
+    }
+
+    #[test]
+    fn different_seeds_retain_different_sets() {
+        let mut a = ExampleBuffer::new(10, 1);
+        let mut b = ExampleBuffer::new(10, 2);
+        a.extend(0..1000);
+        b.extend(0..1000);
+        assert_ne!(a.items(), b.items());
+    }
+
+    #[test]
+    fn zero_capacity_panics() {
+        let result = std::panic::catch_unwind(|| ExampleBuffer::<u8>::new(0, 0));
+        assert!(result.is_err());
+    }
+}

@@ -134,6 +134,25 @@ impl Scratch {
     }
 }
 
+/// Resumable training state: the Adam optimiser (step count plus first and
+/// second moments for every parameter tensor) and the epoch-shuffle RNG.
+/// Produced by [`RnnClassifier::train_state`], advanced in place by
+/// [`RnnClassifier::train_continue`]. Deliberately opaque — the only
+/// supported operations are resuming training with it and inspecting the
+/// optimiser step count.
+#[derive(Debug, Clone)]
+pub struct TrainState {
+    opt: Adam,
+    rng: rand::rngs::StdRng,
+}
+
+impl TrainState {
+    /// Number of Adam steps taken so far through this state.
+    pub fn steps(&self) -> u64 {
+        self.opt.steps()
+    }
+}
+
 /// An Elman RNN classifier with ReLU activations, trained by full BPTT with
 /// Adam and gradient clipping.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -303,12 +322,17 @@ impl RnnClassifier {
     /// schedule). Returns the mean cross-entropy of the final epoch.
     pub fn train_with_batch_size(&mut self, examples: &[SequenceExample], batch_size: usize) -> f64 {
         assert!(!examples.is_empty(), "no training examples");
-        for ex in examples {
-            assert!(ex.label < self.cfg.classes);
-            assert_eq!(ex.extra.len(), self.cfg.extra_dim);
-            assert!(ex.prefix.iter().all(|&s| s < self.cfg.vocab));
-        }
-        let batch_size = batch_size.max(1);
+        let mut state = self.train_state();
+        self.train_continue_with_batch_size(examples, batch_size, &mut state)
+    }
+
+    /// Fresh resumable training state for this classifier: a zeroed Adam
+    /// optimiser sized to the parameter tensors plus the seeded epoch
+    /// shuffler. Feeding this to [`Self::train_continue`] reproduces
+    /// [`Self::train`] bit-for-bit; holding on to it afterwards lets later
+    /// calls resume the optimiser (step count, first/second moments) and
+    /// the shuffle stream instead of reinitialising.
+    pub fn train_state(&self) -> TrainState {
         let sizes = [
             self.emb.table.len(),
             self.x2h.w.len(),
@@ -320,18 +344,47 @@ impl RnnClassifier {
             self.l2.w.len(),
             self.l2.b.len(),
         ];
-        let mut opt = Adam::new(self.cfg.lr, &sizes);
-        let mut rng = rand::rngs::StdRng::seed_from_u64(self.cfg.seed ^ 0x5eed);
+        TrainState {
+            opt: Adam::new(self.cfg.lr, &sizes),
+            rng: rand::rngs::StdRng::seed_from_u64(self.cfg.seed ^ 0x5eed),
+        }
+    }
+
+    /// Continue training over `examples` for `cfg.epochs` more epochs,
+    /// resuming the Adam moments/step count and shuffle stream in `state`.
+    /// An empty `examples` slice is a guaranteed bitwise no-op: weights,
+    /// optimiser state, and the shuffle stream are all left untouched and
+    /// the returned loss is `0.0`.
+    pub fn train_continue(&mut self, examples: &[SequenceExample], state: &mut TrainState) -> f64 {
+        self.train_continue_with_batch_size(examples, self.cfg.batch_size, state)
+    }
+
+    /// [`Self::train_continue`] with an explicit batch size.
+    pub fn train_continue_with_batch_size(
+        &mut self,
+        examples: &[SequenceExample],
+        batch_size: usize,
+        state: &mut TrainState,
+    ) -> f64 {
+        if examples.is_empty() {
+            return 0.0;
+        }
+        for ex in examples {
+            assert!(ex.label < self.cfg.classes);
+            assert_eq!(ex.extra.len(), self.cfg.extra_dim);
+            assert!(ex.prefix.iter().all(|&s| s < self.cfg.vocab));
+        }
+        let batch_size = batch_size.max(1);
         let mut order: Vec<usize> = (0..examples.len()).collect();
         let mut scratch = Scratch::default();
         let mut last_epoch_loss = f64::INFINITY;
         for _ in 0..self.cfg.epochs {
             let _epoch_span = obs::span("rnn_epoch");
-            order.shuffle(&mut rng);
+            order.shuffle(&mut state.rng);
             let mut loss_sum = 0.0;
             for chunk_start in (0..order.len()).step_by(batch_size) {
                 let chunk = &order[chunk_start..(chunk_start + batch_size).min(order.len())];
-                loss_sum += self.step_chunk(examples, chunk, &mut opt, &mut scratch);
+                loss_sum += self.step_chunk(examples, chunk, &mut state.opt, &mut scratch);
             }
             last_epoch_loss = loss_sum / examples.len() as f64;
         }

@@ -23,7 +23,8 @@
 //!
 //! The obs counters recorded under `server.` with plain names
 //! (`server.requests`, `server.responses_ok`, `server.responses_error`,
-//! `server.faults_injected`) are *per-request facts*: commutative sums of
+//! `server.faults_injected`, and the `server.retrain.*` reload family)
+//! are *per-request facts*: commutative sums of
 //! values that depend only on each request's content, never on how
 //! requests were partitioned into batches. They are bit-identical across
 //! thread counts and batch timings for a fixed request set, and they are
@@ -34,6 +35,21 @@
 //! recorded *below* the batch executor by other crates, e.g. cache
 //! warm-phase hits, are batching-dependent in a concurrent server; they
 //! are visible via the full obs snapshot, not the curated section.)
+//!
+//! ## Model reloads
+//!
+//! `POST /admin/reload` swaps the served model without downtime. The
+//! default mode (`?mode=full`, or no query) trains a replacement from
+//! scratch via [`ServerConfig::trainer`]; `?mode=incremental` instead
+//! hands the *currently served* system to
+//! [`ServerConfig::incremental_trainer`], which by default runs the
+//! core [`RetrainPlanner`] so unchanged replay reports and model
+//! families are carried over rather than recomputed. Either way the new
+//! system is built entirely off-thread from serving: in-flight batches
+//! finish on the snapshot they loaded, and the swap is one atomic slot
+//! store. Exactly one reload runs at a time — a second request while one
+//! is in flight answers `409 Conflict` with a JSON body instead of
+//! queueing up redundant training behind a lock.
 //!
 //! ## Fault injection
 //!
@@ -49,6 +65,7 @@ use crate::http::{self, HttpError, Request};
 use crate::queue::{BatchQueue, PushError};
 use autosuggest_core::model_slot::ModelSlot;
 use autosuggest_core::pipeline::{AutoSuggest, AutoSuggestConfig, SuggestResponse};
+use autosuggest_core::retrain::{RetrainPlanner, RetrainReport};
 use autosuggest_core::wire;
 use autosuggest_corpus::faults::{FaultKind, FaultSpec};
 use autosuggest_obs as obs;
@@ -67,6 +84,16 @@ pub const REQUESTS_COUNTER: &str = "server.requests";
 pub const RESPONSES_OK_COUNTER: &str = "server.responses_ok";
 pub const RESPONSES_ERROR_COUNTER: &str = "server.responses_error";
 pub const FAULTS_INJECTED_COUNTER: &str = "server.faults_injected";
+pub const RETRAIN_RELOADS_COUNTER: &str = "server.retrain.reloads";
+pub const RETRAIN_CARRIED_COUNTER: &str = "server.retrain.models_carried";
+pub const RETRAIN_REBUILT_COUNTER: &str = "server.retrain.models_rebuilt";
+pub const RETRAIN_REPLAYED_COUNTER: &str = "server.retrain.notebooks_replayed";
+
+/// Closure that produces the replacement system for an incremental
+/// reload: `(reload seed, currently served system) → (new system,
+/// planner accounting)`.
+pub type IncrementalTrainer =
+    Box<dyn Fn(u64, &AutoSuggest) -> (AutoSuggest, RetrainReport) + Send + Sync>;
 
 /// Tuning knobs for one daemon instance.
 pub struct ServerConfig {
@@ -80,8 +107,15 @@ pub struct ServerConfig {
     pub batch_window: Duration,
     /// Largest accepted request body.
     pub max_body_bytes: usize,
-    /// Trains the replacement model for `POST /admin/reload`.
+    /// Trains the replacement model for `POST /admin/reload` (full mode).
     pub trainer: Box<dyn Fn(u64) -> AutoSuggest + Send + Sync>,
+    /// Produces the replacement for `POST /admin/reload?mode=incremental`:
+    /// given the reload seed and the currently served system, returns the
+    /// new system plus the planner's accounting. The default runs
+    /// [`RetrainPlanner`] against the served system's own config — an
+    /// empty-delta retrain that re-proves every model carriable and swaps
+    /// in an equivalent system cheaply.
+    pub incremental_trainer: IncrementalTrainer,
 }
 
 impl Default for ServerConfig {
@@ -93,6 +127,9 @@ impl Default for ServerConfig {
             batch_window: Duration::from_millis(2),
             max_body_bytes: 16 * 1024 * 1024,
             trainer: Box::new(|seed| AutoSuggest::train(AutoSuggestConfig::fast(seed))),
+            incremental_trainer: Box::new(|_seed, prev| {
+                RetrainPlanner::new().retrain(prev, prev.config.clone())
+            }),
         }
     }
 }
@@ -132,6 +169,7 @@ struct Shared {
     max_batch: usize,
     batch_window: Duration,
     trainer: Box<dyn Fn(u64) -> AutoSuggest + Send + Sync>,
+    incremental_trainer: IncrementalTrainer,
     /// Exact batch-size → count histogram, maintained by the (single)
     /// batcher thread; scheduling-dependent, reported under `live`.
     batch_sizes: Mutex<BTreeMap<usize, u64>>,
@@ -170,6 +208,7 @@ pub fn serve(slot: Arc<ModelSlot>, config: ServerConfig) -> io::Result<Server> {
         max_batch: config.max_batch,
         batch_window: config.batch_window,
         trainer: config.trainer,
+        incremental_trainer: config.incremental_trainer,
         batch_sizes: Mutex::new(BTreeMap::new()),
         rejected_busy: AtomicU64::new(0),
         reload_lock: Mutex::new(()),
@@ -278,7 +317,13 @@ fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
 }
 
 fn handle_request(writer: &mut impl Write, req: Request, shared: &Arc<Shared>) -> io::Result<()> {
-    match (req.method.as_str(), req.path.as_str()) {
+    // `Request::path` carries the query string verbatim; split it off so
+    // routing matches the bare path and handlers that care get the query.
+    let (path, query) = match req.path.split_once('?') {
+        Some((path, query)) => (path, query),
+        None => (req.path.as_str(), ""),
+    };
+    match (req.method.as_str(), path) {
         ("POST", "/suggest") => handle_suggest(writer, &req.body, shared),
         ("GET", "/healthz") => {
             let body = json!({
@@ -290,7 +335,7 @@ fn handle_request(writer: &mut impl Write, req: Request, shared: &Arc<Shared>) -
         ("GET", "/stats") => {
             http::write_response(writer, 200, &[], &stats_value(shared).to_string())
         }
-        ("POST", "/admin/reload") => handle_reload(writer, &req.body, shared),
+        ("POST", "/admin/reload") => handle_reload(writer, query, &req.body, shared),
         ("POST", "/admin/shutdown") => {
             let body = json!({"status": "shutting down"});
             http::write_response(writer, 200, &[], &body.to_string())?;
@@ -374,7 +419,31 @@ fn handle_suggest(writer: &mut impl Write, body: &[u8], shared: &Arc<Shared>) ->
     }
 }
 
-fn handle_reload(writer: &mut impl Write, body: &[u8], shared: &Arc<Shared>) -> io::Result<()> {
+/// Value of `name` in a `k=v&k2=v2` query string, if present.
+fn query_param<'a>(query: &'a str, name: &str) -> Option<&'a str> {
+    query.split('&').find_map(|pair| {
+        let (key, value) = pair.split_once('=').unwrap_or((pair, ""));
+        (key == name).then_some(value)
+    })
+}
+
+fn handle_reload(
+    writer: &mut impl Write,
+    query: &str,
+    body: &[u8],
+    shared: &Arc<Shared>,
+) -> io::Result<()> {
+    let _span = obs::span("server.reload");
+    let incremental = match query_param(query, "mode").unwrap_or("full") {
+        "full" => false,
+        "incremental" => true,
+        other => {
+            let body = json!({
+                "error": format!("unknown reload mode {other:?} (expected \"full\" or \"incremental\")"),
+            });
+            return http::write_response(writer, 400, &[], &body.to_string());
+        }
+    };
     let seed = std::str::from_utf8(body)
         .ok()
         .and_then(|text| serde_json::from_str(text).ok())
@@ -384,17 +453,54 @@ fn handle_reload(writer: &mut impl Write, body: &[u8], shared: &Arc<Shared>) -> 
         let body = json!({"error": "reload body must be {\"seed\": <u64>}"});
         return http::write_response(writer, 400, &[], &body.to_string());
     };
-    // One reload at a time; concurrent requests queue behind the lock
-    // rather than training redundant models in parallel.
-    let _guard = shared
-        .reload_lock
-        .lock()
-        .unwrap_or_else(|poisoned| poisoned.into_inner());
-    let replacement = (shared.trainer)(seed);
-    let version = shared.slot.swap(replacement);
-    obs::counter_add("server.model_swaps", 1);
-    let body = json!({"status": "reloaded", "model_version": version, "seed": seed});
-    http::write_response(writer, 200, &[], &body.to_string())
+    // One reload at a time. `try_lock` rather than `lock`: a second
+    // request while one is training answers 409 immediately instead of
+    // queueing up a redundant retrain behind the in-flight one. A
+    // poisoned lock just means a previous reload panicked after
+    // answering; the slot itself is always consistent, so proceed.
+    let guard = match shared.reload_lock.try_lock() {
+        Ok(guard) => guard,
+        Err(std::sync::TryLockError::Poisoned(poisoned)) => poisoned.into_inner(),
+        Err(std::sync::TryLockError::WouldBlock) => {
+            let body = json!({"error": "a reload is already in flight, retry later"});
+            return http::write_response(writer, 409, &[], &body.to_string());
+        }
+    };
+    let response = if incremental {
+        let started = Instant::now();
+        // Snapshot the served system; serving continues against it (and
+        // any concurrently swapped successor) while the planner works.
+        let current = shared.slot.load();
+        let (replacement, report) = (shared.incremental_trainer)(seed, &current.system);
+        let version = shared.slot.swap(replacement);
+        obs::counter_add("server.model_swaps", 1);
+        obs::counter_add(RETRAIN_RELOADS_COUNTER, 1);
+        obs::counter_add(RETRAIN_CARRIED_COUNTER, report.carried.len() as u64);
+        obs::counter_add(RETRAIN_REBUILT_COUNTER, report.rebuilt.len() as u64);
+        obs::counter_add(RETRAIN_REPLAYED_COUNTER, report.delta.replayed_notebooks as u64);
+        obs::observe("server.retrain.reload_seconds", started.elapsed().as_secs_f64());
+        json!({
+            "status": "reloaded",
+            "mode": "incremental",
+            "model_version": version,
+            "seed": seed,
+            "carried": report.carried,
+            "rebuilt": report.rebuilt,
+            "notebooks_replayed": report.delta.replayed_notebooks,
+            "reports_reused": report.delta.reused_reports,
+            "full_replay_fallback": report.full_replay_fallback,
+        })
+    } else {
+        let replacement = (shared.trainer)(seed);
+        let version = shared.slot.swap(replacement);
+        obs::counter_add("server.model_swaps", 1);
+        json!({"status": "reloaded", "mode": "full", "model_version": version, "seed": seed})
+    };
+    // Release before answering: a client that reads this 200 and fires
+    // the next reload straight away must not race the guard drop into a
+    // spurious 409.
+    drop(guard);
+    http::write_response(writer, 200, &[], &response.to_string())
 }
 
 // ---------------------------------------------------------------------------

@@ -9,13 +9,14 @@
 
 use auto_suggest::core::model_slot::ModelSlot;
 use auto_suggest::core::wire::{self, OwnedSuggestRequest};
-use auto_suggest::core::{AutoSuggest, AutoSuggestConfig};
+use auto_suggest::core::{AutoSuggest, AutoSuggestConfig, RetrainPlanner};
 use auto_suggest::dataframe::{DataFrame, Value as Cell};
 use auto_suggest::server::{http, serve, Server, ServerConfig};
 use serde_json::Value;
 use std::io::BufReader;
 use std::net::TcpStream;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
 
 const MAX_RESPONSE: usize = 64 * 1024 * 1024;
 
@@ -206,4 +207,168 @@ fn bad_requests_unknown_routes_and_reload_then_shutdown() {
     assert_eq!(status, 200);
     assert_eq!(v.get("status").and_then(Value::as_str), Some("shutting down"));
     server.wait().expect("clean shutdown after HTTP request");
+}
+
+/// Hammer `/suggest` from concurrent clients while the model slot is
+/// repeatedly swapped by incremental reloads. Every response must be
+/// self-consistent: exactly one model version, versions monotone per
+/// sequential client, and — because the default incremental trainer is an
+/// empty-delta retrain that provably carries every model — renderings
+/// bit-identical to the original system no matter which version answered.
+#[test]
+fn suggest_traffic_stays_consistent_across_incremental_reload_swaps() {
+    let (server, bodies, expected) = start_server();
+    let addr = server.addr().to_string();
+    const RELOADS: i64 = 3;
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let workers: Vec<_> = (0..4)
+        .map(|worker| {
+            let addr = addr.clone();
+            let bodies = bodies.clone();
+            let expected = expected.clone();
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut served = 0usize;
+                let mut last_version = 0i64;
+                while !stop.load(Ordering::Relaxed) {
+                    for (i, body) in bodies.iter().enumerate() {
+                        let (status, v) = call(&addr, "POST", "/suggest", body);
+                        assert_eq!(status, 200, "worker {worker} request {i}: {v}");
+                        let version = v
+                            .get("model_version")
+                            .and_then(Value::as_i64)
+                            .expect("model_version field");
+                        assert!(
+                            (1..=1 + RELOADS).contains(&version),
+                            "worker {worker}: impossible model version {version}"
+                        );
+                        assert!(
+                            version >= last_version,
+                            "worker {worker}: served version went backwards \
+                             ({last_version} then {version})"
+                        );
+                        last_version = version;
+                        let served_body =
+                            v.get("response").expect("response field").to_string();
+                        assert_eq!(
+                            served_body, expected[i],
+                            "worker {worker} request {i} on model v{version}: \
+                             rendering diverged after incremental swap"
+                        );
+                        served += 1;
+                    }
+                }
+                served
+            })
+        })
+        .collect();
+
+    // Sequential incremental reloads while the workers hammer away. Each
+    // is an empty-delta retrain: nothing replayed, every family carried.
+    let mut carried_total = 0i64;
+    for k in 0..RELOADS {
+        let (status, v) =
+            call(&addr, "POST", "/admin/reload?mode=incremental", r#"{"seed": 9}"#);
+        assert_eq!(status, 200, "{v}");
+        assert_eq!(v.get("mode").and_then(Value::as_str), Some("incremental"));
+        assert_eq!(v.get("model_version").and_then(Value::as_i64), Some(2 + k));
+        assert_eq!(v.get("notebooks_replayed").and_then(Value::as_i64), Some(0));
+        assert_eq!(v.get("full_replay_fallback").and_then(Value::as_bool), Some(false));
+        let carried = v.get("carried").and_then(Value::as_array).expect("carried");
+        let rebuilt = v.get("rebuilt").and_then(Value::as_array).expect("rebuilt");
+        assert!(!carried.is_empty(), "empty-delta retrain must carry models: {v}");
+        assert!(rebuilt.is_empty(), "empty-delta retrain must rebuild nothing: {v}");
+        carried_total += carried.len() as i64;
+    }
+
+    stop.store(true, Ordering::Relaxed);
+    let served: usize =
+        workers.into_iter().map(|h| h.join().expect("suggest worker")).sum();
+    assert!(served > 0, "workers must have served at least one round");
+
+    let (_, v) = call(&addr, "GET", "/healthz", "");
+    assert_eq!(v.get("model_version").and_then(Value::as_i64), Some(1 + RELOADS));
+
+    // The curated deterministic stats expose the retrain accounting.
+    let (_, stats) = call(&addr, "GET", "/stats", "");
+    let det = stats.get("deterministic").expect("deterministic section");
+    let count = |name: &str| det.get(name).and_then(Value::as_i64).unwrap_or(0);
+    assert_eq!(count("server.retrain.reloads"), RELOADS);
+    assert_eq!(count("server.retrain.models_carried"), carried_total);
+    assert_eq!(count("server.retrain.models_rebuilt"), 0);
+    assert_eq!(count("server.retrain.notebooks_replayed"), 0);
+    assert_eq!(count("server.model_swaps"), RELOADS);
+
+    server.shutdown();
+    server.wait().expect("clean shutdown");
+}
+
+/// While one reload is training, any further reload (either mode) must be
+/// answered `409 Conflict` with a JSON error — not queued behind the lock.
+#[test]
+fn second_reload_while_one_is_in_flight_answers_409() {
+    let system = AutoSuggest::train(AutoSuggestConfig::fast(3));
+    let slot = Arc::new(ModelSlot::new(system));
+    // A trainer the test can hold open: signals entry, then blocks until
+    // released. Senders/receivers go behind mutexes because the trainer
+    // closure must be Sync.
+    let (entered_tx, entered_rx) = mpsc::channel::<()>();
+    let (release_tx, release_rx) = mpsc::channel::<()>();
+    let entered_tx = Mutex::new(entered_tx);
+    let release_rx = Mutex::new(release_rx);
+    let config = ServerConfig {
+        incremental_trainer: Box::new(move |_seed, prev| {
+            entered_tx.lock().unwrap().send(()).expect("test alive");
+            release_rx.lock().unwrap().recv().expect("release signal");
+            RetrainPlanner::new().retrain(prev, prev.config.clone())
+        }),
+        ..Default::default()
+    };
+    let (server, _snapshot) =
+        auto_suggest::obs::with_local_registry(|| serve(slot, config).expect("bind loopback"));
+    let addr = server.addr().to_string();
+
+    // Unknown mode is rejected outright, before the lock is involved.
+    let (status, v) = call(&addr, "POST", "/admin/reload?mode=sideways", r#"{"seed": 1}"#);
+    assert_eq!(status, 400);
+    let msg = v.get("error").and_then(Value::as_str).unwrap_or_default();
+    assert!(msg.contains("sideways"), "unhelpful error: {msg}");
+
+    // First reload enters its trainer and parks there...
+    let first = {
+        let addr = addr.clone();
+        std::thread::spawn(move || {
+            call(&addr, "POST", "/admin/reload?mode=incremental", r#"{"seed": 1}"#)
+        })
+    };
+    entered_rx.recv().expect("first reload reaches its trainer");
+
+    // ...so any further reload answers 409 with a JSON error body.
+    for path in ["/admin/reload?mode=incremental", "/admin/reload"] {
+        let (status, v) = call(&addr, "POST", path, r#"{"seed": 2}"#);
+        assert_eq!(status, 409, "{path}: {v}");
+        let msg = v.get("error").and_then(Value::as_str).unwrap_or_default();
+        assert!(msg.contains("in flight"), "{path}: unhelpful error: {msg}");
+    }
+
+    // Serving is unaffected while the reload holds the lock.
+    let (status, v) = call(&addr, "GET", "/healthz", "");
+    assert_eq!(status, 200);
+    assert_eq!(v.get("model_version").and_then(Value::as_i64), Some(1));
+
+    // Release the trainer: the parked reload completes normally.
+    release_tx.send(()).expect("trainer waiting");
+    let (status, v) = first.join().expect("reload client");
+    assert_eq!(status, 200, "{v}");
+    assert_eq!(v.get("model_version").and_then(Value::as_i64), Some(2));
+
+    // And the lock is free again: a plain full reload goes through.
+    let (status, v) = call(&addr, "POST", "/admin/reload", r#"{"seed": 4}"#);
+    assert_eq!(status, 200, "{v}");
+    assert_eq!(v.get("mode").and_then(Value::as_str), Some("full"));
+    assert_eq!(v.get("model_version").and_then(Value::as_i64), Some(3));
+
+    server.shutdown();
+    server.wait().expect("clean shutdown");
 }
