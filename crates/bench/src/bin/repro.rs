@@ -3,10 +3,23 @@
 //! ```text
 //! repro [--fast] [--seed N] [--timing] [--trace PATH] [--cache-stats]
 //!       [--gbdt-hist]
+//!       [--corpus-scale N] [--store-dir PATH] [--shard-size K]
 //!       all | table2 | table3 | table4 | table5 | table6 | table7 |
 //!       table8 | table9 | table10 | table11 | ablation-ampt |
 //!       ablation-cmut | ablation-join
 //! ```
+//!
+//! `--corpus-scale N` is a standalone mode: instead of training, it
+//! generates and replays an N-notebook corpus (default archetype mix)
+//! through the disk-backed streamed pipeline — shard by shard into a
+//! `SampleStore` under `--store-dir` (default: a seed/scale-keyed
+//! directory under the system temp dir) — then streams the store back to
+//! print deterministic per-scenario replay stats on stdout (byte-identical
+//! at any `AUTOSUGGEST_THREADS`). Memory stays bounded by `--shard-size`
+//! notebooks, not by N. A killed run resumes from the store's shard
+//! manifest (`AUTOSUGGEST_SCALE_ABORT=K` stops after K new shards, to
+//! exercise exactly that). With `--timing`, BENCH_repro.json gets a
+//! `"corpus_scale"` section including the peak-RSS gauge.
 //!
 //! `--fast` uses the small test-scale corpus (seconds instead of minutes);
 //! the default corpus is the full ~1:40-scale generation DESIGN.md
@@ -106,6 +119,94 @@ fn featurise_workload(ctx: &ReproContext) -> usize {
     work
 }
 
+/// The `--corpus-scale N` mode: streamed generate + replay of an
+/// N-notebook corpus at bounded RSS, resumable via the store's shard
+/// manifest. Stdout carries only the deterministic per-scenario stats
+/// (CI byte-diffs it across thread counts and resume boundaries);
+/// wall-clock and RSS go to stderr and, with `--timing`, into the
+/// `"corpus_scale"` section of BENCH_repro.json.
+fn run_corpus_scale(
+    scale: usize,
+    seed: u64,
+    shard_size: usize,
+    store_dir: Option<String>,
+    timing: bool,
+) {
+    let threads = autosuggest_parallel::current_threads();
+    let cfg = CorpusConfig::scaled_to(seed, scale);
+    let faults = autosuggest_corpus::FaultSpec::from_env();
+    let root = store_dir.map(std::path::PathBuf::from).unwrap_or_else(|| {
+        std::env::temp_dir().join(format!("autosuggest-scale-{seed}-{scale}"))
+    });
+    let abort_after = std::env::var("AUTOSUGGEST_SCALE_ABORT")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok());
+    let opts = autosuggest_corpus::StreamConfig { shard_size, abort_after_shards: abort_after };
+    eprintln!(
+        "[repro] corpus-scale: {scale} notebooks, shard size {shard_size}, store {}, threads {threads}",
+        root.display()
+    );
+
+    let t0 = Instant::now();
+    let (store, summary) =
+        match autosuggest_corpus::replay_corpus_streamed(&cfg, faults, &root, &opts) {
+            Ok(out) => out,
+            Err(e) => {
+                eprintln!("[repro] corpus-scale replay failed: {e}");
+                std::process::exit(1);
+            }
+        };
+    let replay_seconds = t0.elapsed().as_secs_f64();
+    let peak_rss = obs::peak_rss_bytes().unwrap_or(0);
+    obs::gauge_set("stream.peak_rss_bytes_live", peak_rss as f64);
+    eprintln!(
+        "[repro] corpus-scale: {} shards ({} replayed now, {} resumed from manifest{}), {} notebooks, {} invocations in {replay_seconds:.1}s, peak RSS {:.1} MiB",
+        summary.total_shards,
+        summary.shards_replayed,
+        summary.shards_resumed,
+        if summary.aborted { ", aborted early" } else { "" },
+        summary.notebooks,
+        summary.invocations,
+        peak_rss as f64 / (1024.0 * 1024.0),
+    );
+
+    // Deterministic stdout: per-scenario replay slices streamed back out
+    // of the store, one shard in memory at a time.
+    match autosuggest_corpus::scan_scenario_stats(&store) {
+        Ok(stats) => print!("{}", autosuggest_corpus::stream::render_scenario_stats(&stats)),
+        Err(e) => {
+            eprintln!("[repro] corpus-scale stats scan failed: {e}");
+            std::process::exit(1);
+        }
+    }
+    let total_seconds = t0.elapsed().as_secs_f64();
+
+    if timing {
+        let report = json!({
+            "threads": threads,
+            "seed": seed,
+            "corpus_scale": {
+                "requested_notebooks": scale,
+                "notebooks": summary.notebooks,
+                "invocations": summary.invocations,
+                "shard_size": shard_size,
+                "total_shards": summary.total_shards,
+                "shards_replayed": summary.shards_replayed,
+                "shards_resumed": summary.shards_resumed,
+                "aborted": summary.aborted,
+                "replay_seconds": replay_seconds,
+                "total_seconds": total_seconds,
+                "peak_rss_bytes": peak_rss,
+            },
+        });
+        let path = "BENCH_repro.json";
+        match std::fs::write(path, report.to_string()) {
+            Ok(()) => eprintln!("[repro] wrote {path} ({total_seconds:.1}s total)"),
+            Err(e) => eprintln!("[repro] failed to write {path}: {e}"),
+        }
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut fast = false;
@@ -114,6 +215,9 @@ fn main() {
     let mut gbdt_hist = false;
     let mut seed = 42u64;
     let mut trace_path: Option<String> = None;
+    let mut corpus_scale: Option<usize> = None;
+    let mut store_dir: Option<String> = None;
+    let mut shard_size = 256usize;
     let mut targets: Vec<String> = Vec::new();
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
@@ -131,8 +235,28 @@ fn main() {
             "--trace" => {
                 trace_path = Some(it.next().expect("--trace takes a file path"));
             }
+            "--corpus-scale" => {
+                corpus_scale = Some(
+                    it.next()
+                        .and_then(|s| s.parse().ok())
+                        .expect("--corpus-scale takes a notebook count"),
+                );
+            }
+            "--store-dir" => {
+                store_dir = Some(it.next().expect("--store-dir takes a directory path"));
+            }
+            "--shard-size" => {
+                shard_size = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .expect("--shard-size takes an integer");
+            }
             other => targets.push(other.to_string()),
         }
+    }
+    if let Some(scale) = corpus_scale {
+        run_corpus_scale(scale, seed, shard_size, store_dir, timing);
+        return;
     }
     if targets.is_empty() {
         targets.push("all".to_string());

@@ -27,8 +27,10 @@
 //! # Eviction and determinism
 //!
 //! The directory is bounded by a byte budget (`AUTOSUGGEST_CACHE_DISK_BUDGET`,
-//! default 256 MiB). Eviction is LRU at file granularity ordered by
-//! `(mtime, name)` over the files that pre-existed this process; files read
+//! default 256 MiB). Eviction is at file granularity in lexicographic
+//! name order over the files that pre-existed this process (names are
+//! content hashes, so the order depends only on cache contents — never on
+//! `read_dir` iteration order or mtime granularity); files read
 //! or written by the current process are pinned and never evicted within
 //! it. This keeps the disk counters thread-invariant: lookups happen only
 //! on in-memory misses (themselves deterministic via single-flight), each
@@ -341,9 +343,12 @@ enum Loaded<T> {
 struct DiskState {
     /// Total bytes currently accounted under the root (shards only).
     bytes_total: u64,
-    /// Pre-existing files in `(mtime, path)` order — the fixed eviction
-    /// queue. Files created by this process are pinned instead and are
-    /// never eviction candidates within it.
+    /// Pre-existing files in lexicographic path order — the fixed eviction
+    /// queue. Shard names are content hashes, so this order is a pure
+    /// function of the cache *contents*, independent of filesystem
+    /// `read_dir` iteration order or mtime granularity. Files created by
+    /// this process are pinned instead and are never eviction candidates
+    /// within it.
     victims: VecDeque<(PathBuf, u64)>,
     /// Files read or written by this process (LRU-touched): never evicted.
     pinned: HashSet<PathBuf>,
@@ -374,11 +379,15 @@ fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
 impl DiskCache {
     /// Open (creating if needed) a shard directory with the given byte
     /// budget. Scans existing shards once to seed the size ledger and the
-    /// `(mtime, name)`-ordered eviction queue.
+    /// name-ordered eviction queue. Ordering by name (not mtime) keeps the
+    /// victim walk deterministic: `read_dir` iteration order is
+    /// filesystem-dependent and mtimes collide at filesystem timestamp
+    /// granularity, so either would make eviction order (and hence the
+    /// post-eviction cache contents) platform-dependent.
     pub fn open(root: &Path, budget_bytes: u64) -> std::io::Result<Arc<DiskCache>> {
         std::fs::create_dir_all(root.join("col"))?;
         std::fs::create_dir_all(root.join("tup"))?;
-        let mut existing: Vec<(std::time::SystemTime, PathBuf, u64)> = Vec::new();
+        let mut existing: Vec<(PathBuf, u64)> = Vec::new();
         for sub in ["col", "tup"] {
             for entry in std::fs::read_dir(root.join(sub))? {
                 let entry = entry?;
@@ -394,13 +403,12 @@ impl DiskCache {
                     let _ = std::fs::remove_file(&path);
                     continue;
                 }
-                let mtime = meta.modified().unwrap_or(std::time::SystemTime::UNIX_EPOCH);
-                existing.push((mtime, path, meta.len()));
+                existing.push((path, meta.len()));
             }
         }
-        existing.sort_by(|a, b| (a.0, &a.1).cmp(&(b.0, &b.1)));
-        let bytes_total = existing.iter().map(|e| e.2).sum();
-        let victims = existing.into_iter().map(|(_, p, s)| (p, s)).collect();
+        existing.sort();
+        let bytes_total = existing.iter().map(|e| e.1).sum();
+        let victims = existing.into_iter().collect();
         Ok(Arc::new(DiskCache {
             root: root.to_path_buf(),
             budget_bytes: budget_bytes.max(1),
@@ -571,7 +579,7 @@ impl DiskCache {
         self.writes.fetch_add(1, Ordering::Relaxed);
         autosuggest_obs::counter_add(DISK_WRITES_COUNTER, 1);
         // Enforce the byte budget against pre-existing, unpinned shards in
-        // the fixed (mtime, name) order.
+        // the fixed name order.
         while st.bytes_total > self.budget_bytes {
             let Some((victim, size)) = st.victims.pop_front() else {
                 break; // only this process's pinned shards remain
@@ -777,6 +785,89 @@ mod tests {
             let c = Column::new("n", (i * 100..i * 100 + 60).map(Value::Int).collect::<Vec<_>>());
             assert!(disk.load_column(crate::column_fingerprint(&c), 1).is_some());
         }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn eviction_order_is_independent_of_creation_order() {
+        // Seed two directories with the same shard set written in opposite
+        // creation orders (distinct mtimes), then force evictions in each:
+        // the surviving shard files must be identical. Pinned by name-order
+        // eviction; (mtime, name) ordering fails this.
+        let survivors = |tag: &str, order: &[usize]| {
+            let dir = tmpdir(tag);
+            let cols: Vec<Column> = (0..8)
+                .map(|i| {
+                    Column::new(
+                        "c",
+                        (i * 100..i * 100 + 60).map(Value::Int).collect::<Vec<_>>(),
+                    )
+                })
+                .collect();
+            let per_shard = {
+                let disk = DiskCache::open(&dir, u64::MAX).unwrap();
+                for &i in order {
+                    disk.store_column(
+                        crate::column_fingerprint(&cols[i]),
+                        &ColumnArtifacts::compute(&cols[i], 64),
+                        false,
+                    );
+                    // Space mtimes apart so an mtime-ordered queue would
+                    // really follow creation order.
+                    std::thread::sleep(std::time::Duration::from_millis(2));
+                }
+                disk.bytes_total() / cols.len() as u64
+            };
+            let disk = DiskCache::open(&dir, per_shard * 5).unwrap();
+            let c = Column::new("n", (10_000..10_060).map(Value::Int).collect::<Vec<_>>());
+            disk.store_column(
+                crate::column_fingerprint(&c),
+                &ColumnArtifacts::compute(&c, 64),
+                false,
+            );
+            assert!(disk.stats().evictions > 0, "budget must force evictions");
+            let mut names: Vec<String> = std::fs::read_dir(dir.join("col"))
+                .unwrap()
+                .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+                .collect();
+            names.sort();
+            let _ = std::fs::remove_dir_all(&dir);
+            names
+        };
+        let forward: Vec<usize> = (0..8).collect();
+        let shuffled = [5usize, 0, 7, 2, 6, 1, 4, 3];
+        assert_eq!(
+            survivors("evict-fwd", &forward),
+            survivors("evict-shuf", &shuffled),
+            "eviction outcome must not depend on shard creation order"
+        );
+    }
+
+    #[test]
+    fn stale_tmp_files_are_swept_and_not_counted() {
+        // A crash between tmp write and rename leaves `<name>.tmp<pid>-<n>`
+        // orphans. They must be reclaimed on open and never counted against
+        // the byte budget.
+        let dir = tmpdir("tmpsweep");
+        {
+            let disk = DiskCache::open(&dir, DEFAULT_DISK_BUDGET).unwrap();
+            let col = mixed_column();
+            disk.store_column(
+                crate::column_fingerprint(&col),
+                &ColumnArtifacts::compute(&col, 64),
+                false,
+            );
+        }
+        let real_bytes = DiskCache::open(&dir, DEFAULT_DISK_BUDGET).unwrap().bytes_total();
+        let orphan = dir.join("col").join("00deadbeef.tmp99999-1");
+        std::fs::write(&orphan, vec![0u8; 4096]).unwrap();
+        let disk = DiskCache::open(&dir, DEFAULT_DISK_BUDGET).unwrap();
+        assert!(!orphan.exists(), "stale tmp file must be swept on open");
+        assert_eq!(
+            disk.bytes_total(),
+            real_bytes,
+            "tmp orphans must not count against the budget"
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 

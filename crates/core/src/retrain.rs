@@ -104,6 +104,11 @@ pub struct RetrainReport {
 #[derive(Debug, Clone)]
 pub struct RetrainPlanner {
     strategy: RetrainStrategy,
+    /// When set, full-replay fallbacks stream through a disk-backed
+    /// [`autosuggest_corpus::SampleStore`] at `(root, shard_size)` instead
+    /// of replaying in memory: bounded RSS, and a fallback interrupted
+    /// mid-way resumes from its shard manifest on the next run.
+    store: Option<(std::path::PathBuf, usize)>,
 }
 
 impl Default for RetrainPlanner {
@@ -114,42 +119,31 @@ impl Default for RetrainPlanner {
 
 /// Additive merge of replay robustness accounting: `prev` and `new` cover
 /// disjoint notebook sets, and every field is a per-notebook (or
-/// per-event) count. The fault spec must already have been checked equal.
+/// per-event) count. The fault spec must already have been checked equal,
+/// and the planner keeps the previous one verbatim.
 fn merge_robustness(prev: &RobustnessStats, new: &RobustnessStats) -> RobustnessStats {
-    let add = |a: autosuggest_corpus::KindCounters, b: autosuggest_corpus::KindCounters| {
-        autosuggest_corpus::KindCounters {
-            injected: a.injected + b.injected,
-            failures: a.failures + b.failures,
-            retries: a.retries + b.retries,
-            recovered: a.recovered + b.recovered,
-            quarantined: a.quarantined + b.quarantined,
-        }
-    };
-    RobustnessStats {
-        fault_spec: prev.fault_spec.clone(),
-        notebooks: prev.notebooks + new.notebooks,
-        failed_first_pass: prev.failed_first_pass + new.failed_first_pass,
-        retried_notebooks: prev.retried_notebooks + new.retried_notebooks,
-        recovered_notebooks: prev.recovered_notebooks + new.recovered_notebooks,
-        quarantined_notebooks: prev.quarantined_notebooks + new.quarantined_notebooks,
-        cell_retries: prev.cell_retries + new.cell_retries,
-        io_path: add(prev.io_path, new.io_path),
-        missing_package: add(prev.missing_package, new.missing_package),
-        schema_mismatch: add(prev.schema_mismatch, new.schema_mismatch),
-        operator_panic: add(prev.operator_panic, new.operator_panic),
-        timeout: add(prev.timeout, new.timeout),
-    }
+    let mut merged = prev.clone();
+    merged.merge_from(new);
+    merged.fault_spec = prev.fault_spec.clone();
+    merged
 }
 
 impl RetrainPlanner {
     /// A planner with the default [`RetrainStrategy::Exact`].
     pub fn new() -> Self {
-        RetrainPlanner { strategy: RetrainStrategy::Exact }
+        RetrainPlanner { strategy: RetrainStrategy::Exact, store: None }
     }
 
     /// Override the strategy.
     pub fn with_strategy(strategy: RetrainStrategy) -> Self {
-        RetrainPlanner { strategy }
+        RetrainPlanner { strategy, store: None }
+    }
+
+    /// Route full-replay fallbacks through a disk-backed sample store at
+    /// `root`, sharded by `shard_size` notebooks (see the field docs).
+    pub fn with_store(mut self, root: impl Into<std::path::PathBuf>, shard_size: usize) -> Self {
+        self.store = Some((root.into(), shard_size));
+        self
     }
 
     /// Retrain `prev` against `config`, reusing every replay report and
@@ -253,7 +247,29 @@ impl RetrainPlanner {
         } else {
             obs::counter_add("retrain.full_replay_fallbacks", 1);
             delta.replayed_notebooks = corpus.notebooks.len();
-            engine.replay_corpus(&corpus.notebooks)
+            let streamed = self.store.as_ref().and_then(|(root, shard_size)| {
+                let faults = config.faults.clone().or_else(FaultSpec::from_env);
+                let opts = autosuggest_corpus::StreamConfig {
+                    shard_size: *shard_size,
+                    ..Default::default()
+                };
+                let (store, summary) = autosuggest_corpus::replay_corpus_streamed(
+                    &config.corpus,
+                    faults,
+                    root,
+                    &opts,
+                )
+                .ok()?;
+                let reports = store.reports().collect::<std::io::Result<Vec<_>>>().ok()?;
+                obs::counter_add("retrain.streamed_fallbacks", 1);
+                Some((reports, summary.stats))
+            });
+            // A store failure degrades to the in-memory path — the result
+            // is identical either way (pinned by the equivalence suite).
+            match streamed {
+                Some(result) => result,
+                None => engine.replay_corpus(&corpus.notebooks),
+            }
         };
         crate::pipeline::lap(&mut timings, "replay", &mut stage_start);
         obs::counter_add("retrain.notebooks_replayed", delta.replayed_notebooks as u64);

@@ -300,6 +300,31 @@ impl RobustnessStats {
         ReplayErrorKind::ALL.iter().map(|&k| self.kind(k).injected).sum()
     }
 
+    /// Fold another replay's accounting into this one. Every counter is
+    /// additive, so merging per-shard stats in shard order reproduces the
+    /// single full-corpus sweep exactly; `fault_spec` keeps the first
+    /// non-`None` spec seen (all shards of one run share a spec).
+    pub fn merge_from(&mut self, other: &RobustnessStats) {
+        if self.fault_spec.is_none() {
+            self.fault_spec = other.fault_spec.clone();
+        }
+        self.notebooks += other.notebooks;
+        self.failed_first_pass += other.failed_first_pass;
+        self.retried_notebooks += other.retried_notebooks;
+        self.recovered_notebooks += other.recovered_notebooks;
+        self.quarantined_notebooks += other.quarantined_notebooks;
+        self.cell_retries += other.cell_retries;
+        for kind in ReplayErrorKind::ALL {
+            let src = *other.kind(kind);
+            let dst = self.kind_mut(kind);
+            dst.injected += src.injected;
+            dst.failures += src.failures;
+            dst.retries += src.retries;
+            dst.recovered += src.recovered;
+            dst.quarantined += src.quarantined;
+        }
+    }
+
     /// Fold these stats into the active obs registry under
     /// `replay.faults.{kind}.{field}` (nonzero fields only, so clean
     /// runs stay noise-free) plus the notebook-level totals. Called once

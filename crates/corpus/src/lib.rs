@@ -36,6 +36,8 @@ pub mod notebook;
 pub mod replay;
 pub mod split;
 pub mod stats;
+pub mod store;
+pub mod stream;
 pub mod tablegen;
 
 pub use datasets::DatasetRepository;
@@ -48,4 +50,9 @@ pub use nbgen::{CorpusConfig, CorpusGenerator, GeneratedCorpus};
 pub use notebook::{Cell, Notebook};
 pub use replay::{OpInvocation, ReplayEngine, ReplayOutcome, ReplayReport};
 pub use split::{grouped_split, SplitSets};
+pub use store::{SampleStore, ShardMeta};
+pub use stream::{
+    corpus_id, replay_corpus_streamed, scan_scenario_stats, ScenarioStats, StreamConfig,
+    StreamSummary,
+};
 pub use tablegen::{TableGenConfig, TableGenerator, TableKind};

@@ -56,6 +56,37 @@ impl Default for CorpusConfig {
 }
 
 impl CorpusConfig {
+    /// A corpus of (roughly) `total` notebooks at the default archetype mix,
+    /// used by `repro --corpus-scale N`. Per-archetype counts scale
+    /// proportionally from the default configuration; the rounding remainder
+    /// goes to join notebooks. Join twins (~20% of join jobs) generate on
+    /// top, so the realised notebook count slightly exceeds `total`.
+    pub fn scaled_to(seed: u64, total: usize) -> Self {
+        let base = CorpusConfig::default();
+        let weights = [
+            base.join_notebooks,
+            base.groupby_notebooks,
+            base.pivot_notebooks,
+            base.unpivot_notebooks,
+            base.json_notebooks,
+            base.flow_notebooks,
+        ];
+        let denom: usize = weights.iter().sum();
+        let scaled: Vec<usize> = weights.iter().map(|w| total * w / denom).collect();
+        let assigned: usize = scaled.iter().sum();
+        CorpusConfig {
+            seed,
+            join_notebooks: scaled[0] + (total - assigned),
+            groupby_notebooks: scaled[1],
+            pivot_notebooks: scaled[2],
+            unpivot_notebooks: scaled[3],
+            json_notebooks: scaled[4],
+            flow_notebooks: scaled[5],
+            plant_failures: true,
+            tables: TableGenConfig::default(),
+        }
+    }
+
     /// A small corpus for unit/integration tests (fast in debug builds).
     pub fn small(seed: u64) -> Self {
         CorpusConfig {
@@ -93,7 +124,7 @@ fn unrecoverable_rate(archetype: Archetype) -> f64 {
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Archetype {
+pub(crate) enum Archetype {
     Join,
     GroupBy,
     Pivot,
@@ -133,9 +164,50 @@ fn derive_seed(seed: u64, tag: u64, ordinal: u64, lane: u64) -> u64 {
 /// One generation job: a per-archetype ordinal. A join job may emit twin
 /// notebooks (they share a dataset group and input tables).
 #[derive(Debug, Clone, Copy)]
-struct Job {
-    archetype: Archetype,
-    idx: usize,
+pub(crate) struct Job {
+    pub(crate) archetype: Archetype,
+    pub(crate) idx: usize,
+}
+
+/// The canonical job list for a corpus configuration, in the same archetype
+/// order `generate()` uses. Every notebook is a pure function of its job, so
+/// any partition of this list into contiguous shards, generated
+/// independently and concatenated, reproduces the full corpus exactly.
+pub(crate) fn corpus_jobs(cfg: &CorpusConfig) -> Vec<Job> {
+    let mut jobs: Vec<Job> = Vec::new();
+    let mut push = |archetype: Archetype, count: usize| {
+        jobs.extend((0..count).map(|idx| Job { archetype, idx }));
+    };
+    push(Archetype::Join, cfg.join_notebooks);
+    push(Archetype::GroupBy, cfg.groupby_notebooks);
+    push(Archetype::Pivot, cfg.pivot_notebooks);
+    push(Archetype::Unpivot, cfg.unpivot_notebooks);
+    push(Archetype::Json, cfg.json_notebooks);
+    push(Archetype::Flow, cfg.flow_notebooks);
+    jobs
+}
+
+/// Generate the notebooks for a slice of the canonical job list. Jobs are
+/// independent (each carries its own derived RNG streams and repository
+/// delta), so they fan out across the deterministic thread pool; results are
+/// reassembled in job order and are bit-identical at any
+/// `AUTOSUGGEST_THREADS`. Because every dataset basename/URL/slug embeds the
+/// notebook's archetype and serial, a shard's repository delta contains
+/// exactly the files its notebooks reference — replaying a shard against its
+/// own delta behaves identically to replaying against the merged full-corpus
+/// repository.
+pub(crate) fn generate_jobs(cfg: &CorpusConfig, jobs: &[Job]) -> GeneratedCorpus {
+    let pool = autosuggest_parallel::Pool::global().with_min_items(8);
+    let produced = pool.par_map(jobs, |job| CorpusGenerator::run_job(cfg, *job));
+
+    let mut notebooks = Vec::new();
+    let mut repository = DatasetRepository::new();
+    for (nbs, delta) in produced {
+        notebooks.extend(nbs);
+        repository.merge(delta);
+    }
+    autosuggest_obs::counter_add("corpus.notebooks_generated", notebooks.len() as u64);
+    GeneratedCorpus { notebooks, repository }
 }
 
 /// The corpus generator. `CorpusGenerator::new(cfg).generate()` builds the
@@ -178,40 +250,22 @@ impl CorpusGenerator {
     /// the deterministic thread pool; results are reassembled in job order
     /// and are bit-identical at any `AUTOSUGGEST_THREADS`.
     pub fn generate(self) -> GeneratedCorpus {
-        let cfg = self.cfg;
-        let mut jobs: Vec<Job> = Vec::new();
-        let mut push = |archetype: Archetype, count: usize| {
-            jobs.extend((0..count).map(|idx| Job { archetype, idx }));
+        let jobs = corpus_jobs(&self.cfg);
+        generate_jobs(&self.cfg, &jobs)
+    }
+
+
+    pub(crate) fn run_job(cfg: &CorpusConfig, job: Job) -> (Vec<Notebook>, DatasetRepository) {
+        let mut generator = Self::for_notebook(cfg, job.archetype, job.idx);
+        let notebooks = match job.archetype {
+            Archetype::Join => generator.join_notebooks(job.idx),
+            Archetype::GroupBy => vec![generator.groupby_notebook(job.idx)],
+            Archetype::Pivot => vec![generator.pivot_notebook(job.idx)],
+            Archetype::Unpivot => vec![generator.unpivot_notebook(job.idx)],
+            Archetype::Json => vec![generator.json_notebook(job.idx)],
+            Archetype::Flow => vec![generator.flow_notebook(job.idx)],
         };
-        push(Archetype::Join, cfg.join_notebooks);
-        push(Archetype::GroupBy, cfg.groupby_notebooks);
-        push(Archetype::Pivot, cfg.pivot_notebooks);
-        push(Archetype::Unpivot, cfg.unpivot_notebooks);
-        push(Archetype::Json, cfg.json_notebooks);
-        push(Archetype::Flow, cfg.flow_notebooks);
-
-        let pool = autosuggest_parallel::Pool::global().with_min_items(8);
-        let produced = pool.par_map(&jobs, |job| {
-            let mut generator = Self::for_notebook(&cfg, job.archetype, job.idx);
-            let notebooks = match job.archetype {
-                Archetype::Join => generator.join_notebooks(job.idx),
-                Archetype::GroupBy => vec![generator.groupby_notebook(job.idx)],
-                Archetype::Pivot => vec![generator.pivot_notebook(job.idx)],
-                Archetype::Unpivot => vec![generator.unpivot_notebook(job.idx)],
-                Archetype::Json => vec![generator.json_notebook(job.idx)],
-                Archetype::Flow => vec![generator.flow_notebook(job.idx)],
-            };
-            (notebooks, generator.repo)
-        });
-
-        let mut notebooks = Vec::new();
-        let mut repository = DatasetRepository::new();
-        for (nbs, delta) in produced {
-            notebooks.extend(nbs);
-            repository.merge(delta);
-        }
-        autosuggest_obs::counter_add("corpus.notebooks_generated", notebooks.len() as u64);
-        GeneratedCorpus { notebooks, repository }
+        (notebooks, generator.repo)
     }
 
     fn next_id(&self, kind: &str) -> String {

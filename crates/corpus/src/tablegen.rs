@@ -635,10 +635,13 @@ impl TableGenerator {
             // Symmetric: subsample the fact side to a comparable size.
             let target = ((right.df.num_rows() as f64)
                 * self.rng.random_range(0.6..2.4)) as usize;
-            let target = target.clamp(5, left.df.num_rows());
+            let rows = left.df.num_rows();
+            // A fact table can come out smaller than the 5-row floor at
+            // large corpus scales; `clamp(5, rows)` would then panic on
+            // min > max. Identical to the old clamp whenever rows >= 5.
+            let target = target.clamp(5.min(rows), rows);
             // Strided sample so the kept rows still span all entities
             // (a prefix would keep only the first few join keys).
-            let rows = left.df.num_rows();
             let idx: Vec<usize> = (0..target).map(|i| i * rows / target).collect();
             left.df = left.df.take(&idx);
             let r: f64 = self.rng.random();

@@ -47,9 +47,11 @@ fn splitmix64(mut z: u64) -> u64 {
 }
 
 impl<T> ExampleBuffer<T> {
-    /// An empty reservoir holding at most `capacity` items.
+    /// An empty reservoir holding at most `capacity` items. A capacity of
+    /// zero is a valid degenerate reservoir that counts offers but retains
+    /// nothing — callers sizing buffers from config arithmetic must not
+    /// have to special-case it.
     pub fn new(capacity: usize, seed: u64) -> Self {
-        assert!(capacity > 0, "reservoir capacity must be positive");
         ExampleBuffer { capacity, seed, seen: 0, items: Vec::new() }
     }
 
@@ -63,7 +65,8 @@ impl<T> ExampleBuffer<T> {
             self.items.push(item);
             return;
         }
-        // Uniform draw over [0, t]: t ≥ capacity ≥ 1 here, and the modulo
+        // Uniform draw over [0, t]: t ≥ capacity here (so t + 1 ≥ 1 and
+        // the modulo is well-defined even at capacity 0), and the modulo
         // bias over a 64-bit mix is negligible for any realistic t.
         let j = splitmix64(self.seed ^ splitmix64(t)) % (t + 1);
         if (j as usize) < self.capacity {
@@ -155,8 +158,11 @@ mod tests {
     }
 
     #[test]
-    fn zero_capacity_panics() {
-        let result = std::panic::catch_unwind(|| ExampleBuffer::<u8>::new(0, 0));
-        assert!(result.is_err());
+    fn zero_capacity_counts_offers_but_retains_nothing() {
+        let mut buf = ExampleBuffer::<u8>::new(0, 0);
+        buf.extend([1, 2, 3]);
+        assert!(buf.is_empty());
+        assert_eq!(buf.len(), 0);
+        assert_eq!(buf.seen(), 3);
     }
 }

@@ -42,12 +42,14 @@
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 mod metrics;
+mod proc;
 mod sink;
 mod span;
 
 pub use metrics::{
     is_timing_name, Histogram, MetricsRegistry, MetricsSnapshot, SpanStat, HISTOGRAM_BUCKETS,
 };
+pub use proc::peak_rss_bytes;
 pub use sink::TraceSink;
 pub use span::{
     ambient, counter_add, gauge_set, global, observe, observe_since, snapshot, span,

@@ -28,13 +28,19 @@ pub struct Request {
     pub close: bool,
 }
 
-/// Protocol-level failure while reading a request. `BodyTooLarge` is
-/// separated so callers can answer 413 instead of dropping the connection.
+/// Protocol-level failure while reading a request. `BodyTooLarge` and
+/// `LengthRequired` are separated so callers can answer 413 / 411 instead
+/// of dropping the connection.
 #[derive(Debug)]
 pub enum HttpError {
     Io(io::Error),
     Malformed(String),
     BodyTooLarge { limit: usize },
+    /// A body-bearing method (POST/PUT/PATCH) arrived without a
+    /// `Content-Length` header. Guessing a length of zero would leave any
+    /// actual body bytes on the wire to be misparsed as the next request,
+    /// so the request is refused outright (RFC 9112 §6.2 → 411).
+    LengthRequired,
 }
 
 impl std::fmt::Display for HttpError {
@@ -44,6 +50,9 @@ impl std::fmt::Display for HttpError {
             HttpError::Malformed(m) => write!(f, "http: malformed request: {m}"),
             HttpError::BodyTooLarge { limit } => {
                 write!(f, "http: body exceeds {limit} byte limit")
+            }
+            HttpError::LengthRequired => {
+                write!(f, "http: body-bearing request without content-length")
             }
         }
     }
@@ -109,12 +118,19 @@ pub fn read_request(
         .ok_or_else(|| HttpError::Malformed("request line missing path".into()))?
         .to_string();
 
-    let mut content_length = 0usize;
+    let mut content_length: Option<usize> = None;
     let mut close = false;
     for _ in 0..MAX_HEADERS {
         let line = read_line(reader)?
             .ok_or_else(|| HttpError::Malformed("EOF inside headers".into()))?;
         if line.is_empty() {
+            let content_length = match content_length {
+                Some(n) => n,
+                // Body-less methods may omit the header; for body-bearing
+                // ones, assuming 0 would desync the keep-alive stream.
+                None if body_expected(&method) => return Err(HttpError::LengthRequired),
+                None => 0,
+            };
             let body = read_body(reader, content_length, max_body_bytes)?;
             return Ok(Some(Request { method, path, body, close }));
         }
@@ -123,9 +139,11 @@ pub fn read_request(
             .ok_or_else(|| HttpError::Malformed(format!("header without colon: {line:?}")))?;
         let value = value.trim();
         if name.eq_ignore_ascii_case("content-length") {
-            content_length = value
-                .parse()
-                .map_err(|_| HttpError::Malformed(format!("bad content-length {value:?}")))?;
+            content_length = Some(
+                value
+                    .parse()
+                    .map_err(|_| HttpError::Malformed(format!("bad content-length {value:?}")))?,
+            );
         } else if name.eq_ignore_ascii_case("connection")
             && value.eq_ignore_ascii_case("close")
         {
@@ -133,6 +151,14 @@ pub fn read_request(
         }
     }
     Err(HttpError::Malformed("too many headers".into()))
+}
+
+/// Methods whose semantics carry a request body and therefore must declare
+/// its framing explicitly.
+fn body_expected(method: &str) -> bool {
+    method.eq_ignore_ascii_case("POST")
+        || method.eq_ignore_ascii_case("PUT")
+        || method.eq_ignore_ascii_case("PATCH")
 }
 
 fn read_body(
@@ -157,6 +183,7 @@ pub fn reason(status: u16) -> &'static str {
         404 => "Not Found",
         405 => "Method Not Allowed",
         409 => "Conflict",
+        411 => "Length Required",
         413 => "Payload Too Large",
         429 => "Too Many Requests",
         500 => "Internal Server Error",
@@ -286,6 +313,35 @@ mod tests {
         assert!(parse("NONSENSE\r\n\r\n").is_err());
         assert!(parse("GET /x HTTP/1.1\r\nbadheader\r\n\r\n").is_err());
         assert!(parse("GET /x HTTP/1.1\r\nContent-Length: nope\r\n\r\n").is_err());
+    }
+
+    #[test]
+    fn post_without_content_length_is_length_required_not_a_stall() {
+        // The body bytes must never be misread as a follow-up request.
+        let err = parse("POST /suggest HTTP/1.1\r\n\r\n{\"k\":1}").unwrap_err();
+        assert!(matches!(err, HttpError::LengthRequired), "got {err:?}");
+        assert_eq!(reason(411), "Length Required");
+    }
+
+    #[test]
+    fn non_numeric_content_length_is_malformed() {
+        let err = parse("POST /suggest HTTP/1.1\r\nContent-Length: 12abc\r\n\r\n").unwrap_err();
+        assert!(matches!(err, HttpError::Malformed(_)), "got {err:?}");
+    }
+
+    #[test]
+    fn header_names_are_case_insensitive() {
+        let req = parse("POST /suggest HTTP/1.1\r\ncontent-length: 2\r\nCONNECTION: close\r\n\r\nok")
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.body, b"ok");
+        assert!(req.close);
+    }
+
+    #[test]
+    fn get_without_content_length_still_parses() {
+        let req = parse("GET /stats HTTP/1.1\r\n\r\n").unwrap().unwrap();
+        assert!(req.body.is_empty());
     }
 
     #[test]

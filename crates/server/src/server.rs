@@ -311,6 +311,14 @@ fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
                 let _ = http::write_response(&mut writer, 400, &[], &body.to_string());
                 return;
             }
+            Err(HttpError::LengthRequired) => {
+                // Without a declared length, any body bytes still on the
+                // wire would desync the keep-alive stream — answer and
+                // close rather than guess.
+                let body = json!({"error": "content-length required for body-bearing requests"});
+                let _ = http::write_response(&mut writer, 411, &[], &body.to_string());
+                return;
+            }
             Err(HttpError::Io(_)) => return,
         }
     }

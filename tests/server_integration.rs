@@ -304,6 +304,75 @@ fn suggest_traffic_stays_consistent_across_incremental_reload_swaps() {
     server.wait().expect("clean shutdown");
 }
 
+/// Send raw bytes over a fresh connection and read back one response.
+/// Bypasses [`http::write_request`], which always frames correctly — the
+/// point here is deliberately broken framing.
+fn call_raw(addr: &str, raw: &str) -> (u16, Value) {
+    use std::io::Write;
+    let stream = TcpStream::connect(addr).expect("connect");
+    stream.set_nodelay(true).expect("nodelay");
+    stream
+        .set_read_timeout(Some(std::time::Duration::from_secs(10)))
+        .expect("read timeout");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut writer = stream;
+    writer.write_all(raw.as_bytes()).expect("send raw");
+    writer.flush().expect("flush");
+    let (status, text) = http::read_response(&mut reader, MAX_RESPONSE).expect("recv");
+    let value = serde_json::from_str(&text)
+        .unwrap_or_else(|e| panic!("non-JSON body: {e}\n{text}"));
+    (status, value)
+}
+
+/// Protocol hardening: a POST without `Content-Length` must be answered
+/// `411 Length Required` (not stalled waiting for bytes that were already
+/// consumed as a guessed-zero body), a non-numeric length is a `400`, and
+/// header names are case-insensitive per RFC 7230.
+#[test]
+fn post_framing_errors_answer_411_and_400_without_stalling() {
+    let (server, bodies, expected) = start_server();
+    let addr = server.addr().to_string();
+
+    // Missing Content-Length on a body-bearing request → 411, fast.
+    let started = std::time::Instant::now();
+    let (status, v) = call_raw(
+        &addr,
+        "POST /suggest HTTP/1.1\r\nContent-Type: application/json\r\n\r\n{\"op\":\"x\"}",
+    );
+    assert_eq!(status, 411, "{v}");
+    let msg = v.get("error").and_then(Value::as_str).unwrap_or_default();
+    assert!(msg.contains("content-length"), "unhelpful error: {msg}");
+    assert!(
+        started.elapsed() < std::time::Duration::from_secs(5),
+        "411 must come back immediately, not via a stall"
+    );
+
+    // Non-numeric Content-Length → 400.
+    let (status, v) =
+        call_raw(&addr, "POST /suggest HTTP/1.1\r\nContent-Length: 12abc\r\n\r\n");
+    assert_eq!(status, 400, "{v}");
+
+    // Lowercase header names are honoured (RFC 7230 §3.2): a correctly
+    // framed request with `content-length` serves normally.
+    let body = &bodies[0];
+    let (status, v) = call_raw(
+        &addr,
+        &format!(
+            "POST /suggest HTTP/1.1\r\ncontent-length: {}\r\nconnection: close\r\n\r\n{body}",
+            body.len()
+        ),
+    );
+    assert_eq!(status, 200, "{v}");
+    assert_eq!(v.get("response").expect("response field").to_string(), expected[0]);
+
+    // The daemon is still healthy after the protocol abuse.
+    let (status, _) = call(&addr, "GET", "/healthz", "");
+    assert_eq!(status, 200);
+
+    server.shutdown();
+    server.wait().expect("clean shutdown");
+}
+
 /// While one reload is training, any further reload (either mode) must be
 /// answered `409 Conflict` with a JSON error — not queued behind the lock.
 #[test]

@@ -1,0 +1,232 @@
+//! The streamed-replay contract: replaying a corpus shard-by-shard through
+//! the disk-backed [`SampleStore`] must be **byte-identical** to the
+//! in-memory `replay_corpus` sweep — same reports in the same order, same
+//! robustness accounting — at any shard size, across kill/resume cycles,
+//! after shard corruption, and with fault injection active. Plus the
+//! end-to-end form: `AutoSuggest::train_streamed` serves the same bits as
+//! `AutoSuggest::train`.
+
+use auto_suggest::core::wire;
+use auto_suggest::core::{AutoSuggest, AutoSuggestConfig, SuggestRequest};
+use auto_suggest::corpus::{
+    replay_corpus_streamed, CorpusConfig, CorpusGenerator, FaultSpec, ReplayEngine, ReplayReport,
+    RobustnessStats, StreamConfig,
+};
+use auto_suggest::dataframe::{DataFrame, Value as Cell};
+use std::path::PathBuf;
+
+/// A corpus small enough to replay several times in one test binary.
+fn tiny_corpus(seed: u64) -> CorpusConfig {
+    CorpusConfig {
+        join_notebooks: 10,
+        groupby_notebooks: 8,
+        pivot_notebooks: 6,
+        unpivot_notebooks: 4,
+        json_notebooks: 3,
+        flow_notebooks: 10,
+        ..CorpusConfig::small(seed)
+    }
+}
+
+fn store_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir()
+        .join(format!("autosuggest-stream-eq-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// The in-memory baseline: full generation, one `replay_corpus` sweep.
+fn in_memory_replay(
+    cfg: &CorpusConfig,
+    faults: Option<FaultSpec>,
+) -> (Vec<ReplayReport>, RobustnessStats) {
+    let corpus = CorpusGenerator::new(cfg.clone()).generate();
+    let engine = ReplayEngine::new(corpus.repository).with_faults(faults);
+    engine.replay_corpus(&corpus.notebooks)
+}
+
+/// Debug renderings are the strictest practical equality for reports
+/// (every field, including nested flow graphs and fault labels).
+fn render_reports(reports: &[ReplayReport]) -> Vec<String> {
+    reports.iter().map(|r| format!("{r:?}")).collect()
+}
+
+fn streamed_reports(store: &auto_suggest::corpus::SampleStore) -> Vec<ReplayReport> {
+    store.reports().collect::<std::io::Result<Vec<_>>>().expect("stream reports")
+}
+
+#[test]
+fn streamed_replay_is_byte_identical_to_in_memory_at_any_shard_size() {
+    let cfg = tiny_corpus(11);
+    let (baseline_reports, baseline_stats) = in_memory_replay(&cfg, None);
+    assert!(!baseline_reports.is_empty());
+
+    for shard_size in [3usize, 7, 1000] {
+        let dir = store_dir(&format!("shardsize-{shard_size}"));
+        let (store, summary) = replay_corpus_streamed(
+            &cfg,
+            None,
+            &dir,
+            &StreamConfig { shard_size, ..Default::default() },
+        )
+        .expect("streamed replay");
+        assert!(store.all_complete());
+        assert!(!summary.aborted);
+        assert_eq!(summary.shards_resumed, 0, "fresh store cannot resume");
+        assert_eq!(summary.notebooks, baseline_reports.len());
+        assert_eq!(
+            render_reports(&streamed_reports(&store)),
+            render_reports(&baseline_reports),
+            "shard size {shard_size}: streamed reports diverged from in-memory replay"
+        );
+        assert_eq!(
+            summary.stats, baseline_stats,
+            "shard size {shard_size}: robustness accounting diverged"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn killed_run_resumes_from_manifest_without_re_replaying() {
+    let cfg = tiny_corpus(23);
+    let dir = store_dir("resume");
+    let shard = StreamConfig { shard_size: 5, ..Default::default() };
+
+    // First run dies after 2 shards (simulated kill).
+    let (_store, partial) = replay_corpus_streamed(
+        &cfg,
+        None,
+        &dir,
+        &StreamConfig { abort_after_shards: Some(2), ..shard.clone() },
+    )
+    .expect("aborted run");
+    assert!(partial.aborted);
+    assert_eq!(partial.shards_replayed, 2);
+    assert!(partial.total_shards > 2, "corpus must span more than 2 shards");
+
+    // Second run resumes: exactly the 2 completed shards are reused.
+    let (store, resumed) =
+        replay_corpus_streamed(&cfg, None, &dir, &shard).expect("resumed run");
+    assert!(!resumed.aborted);
+    assert_eq!(resumed.shards_resumed, 2, "manifest shards must be reused");
+    assert_eq!(resumed.shards_replayed, resumed.total_shards - 2);
+    assert!(store.all_complete());
+
+    // And the result is indistinguishable from never having been killed.
+    let (baseline_reports, baseline_stats) = in_memory_replay(&cfg, None);
+    assert_eq!(render_reports(&streamed_reports(&store)), render_reports(&baseline_reports));
+    assert_eq!(resumed.stats, baseline_stats);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupted_shard_is_re_replayed_not_trusted() {
+    let cfg = tiny_corpus(31);
+    let dir = store_dir("corrupt");
+    let shard = StreamConfig { shard_size: 5, ..Default::default() };
+    let (_store, first) = replay_corpus_streamed(&cfg, None, &dir, &shard).expect("first run");
+    assert!(first.shards_replayed >= 2);
+
+    // Flip one byte in the middle of shard 1's payload.
+    let victim = dir.join("shards").join("shard-00001.asg");
+    let mut bytes = std::fs::read(&victim).expect("read shard");
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0xff;
+    std::fs::write(&victim, &bytes).expect("corrupt shard");
+
+    let (store, second) = replay_corpus_streamed(&cfg, None, &dir, &shard).expect("second run");
+    assert_eq!(second.shards_replayed, 1, "exactly the corrupted shard re-replays");
+    assert_eq!(second.shards_resumed, second.total_shards - 1);
+
+    let (baseline_reports, baseline_stats) = in_memory_replay(&cfg, None);
+    assert_eq!(render_reports(&streamed_reports(&store)), render_reports(&baseline_reports));
+    assert_eq!(second.stats, baseline_stats);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn fault_injected_streamed_replay_matches_in_memory() {
+    let cfg = tiny_corpus(47);
+    let faults = FaultSpec::parse("seed=3;transient=0.6;io=0.4;panic=0.15;package=0.3")
+        .expect("valid fault spec");
+    let (baseline_reports, baseline_stats) = in_memory_replay(&cfg, Some(faults.clone()));
+    assert!(
+        baseline_stats.total_injected() > 0,
+        "fault spec must actually fire for this test to mean anything"
+    );
+
+    let dir = store_dir("faulted");
+    let (store, summary) = replay_corpus_streamed(
+        &cfg,
+        Some(faults),
+        &dir,
+        &StreamConfig { shard_size: 6, ..Default::default() },
+    )
+    .expect("faulted streamed replay");
+    assert_eq!(
+        render_reports(&streamed_reports(&store)),
+        render_reports(&baseline_reports),
+        "fault injection must be shard-invariant (notebook-indexed, not stream-indexed)"
+    );
+    assert_eq!(summary.stats, baseline_stats);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Wire renderings of every suggestion kind — the served-behaviour
+/// fingerprint (same idiom as `retrain_equivalence.rs`).
+fn fingerprint(system: &AutoSuggest) -> Vec<String> {
+    let customers = DataFrame::from_columns(vec![
+        ("customer_id", (0..24).map(Cell::Int).collect()),
+        (
+            "segment",
+            (0..24).map(|i| Cell::Str(["retail", "wholesale"][i % 2].to_string())).collect(),
+        ),
+        ("balance", (0..24).map(|i| Cell::Float(i as f64 * 1.5)).collect()),
+    ])
+    .unwrap();
+    let orders = DataFrame::from_columns(vec![
+        ("customer_id", (0..24).map(|i| Cell::Int(i % 8)).collect()),
+        ("total", (0..24).map(|i| Cell::Float(100.0 + i as f64)).collect()),
+    ])
+    .unwrap();
+    let sales = DataFrame::from_columns(vec![
+        ("region", (0..32).map(|i| Cell::Str(["n", "s", "e", "w"][i % 4].to_string())).collect()),
+        ("year", (0..32).map(|i| Cell::Int(2020 + (i as i64 % 3))).collect()),
+        ("revenue", (0..32).map(|i| Cell::Float(i as f64 * 7.25)).collect()),
+    ])
+    .unwrap();
+    let wide = DataFrame::from_columns(vec![
+        ("id", (0..16).map(Cell::Int).collect()),
+        ("q1", (0..16).map(|i| Cell::Float(i as f64)).collect()),
+        ("q2", (0..16).map(|i| Cell::Float(i as f64 + 0.5)).collect()),
+    ])
+    .unwrap();
+    let requests = [
+        SuggestRequest::Join { left: &customers, right: &orders, top_k: 3 },
+        SuggestRequest::GroupBy { table: &sales },
+        SuggestRequest::Pivot { table: &sales, dims: &[0, 1] },
+        SuggestRequest::Unpivot { table: &wide },
+    ];
+    requests.iter().map(|r| wire::encode_response(&system.suggest(r)).to_string()).collect()
+}
+
+#[test]
+fn train_streamed_serves_the_same_bits_as_train() {
+    let config = AutoSuggestConfig {
+        corpus: tiny_corpus(3),
+        ..AutoSuggestConfig::fast(3)
+    };
+    let direct = AutoSuggest::train(config.clone());
+
+    let dir = store_dir("train");
+    let streamed =
+        AutoSuggest::train_streamed(config, &dir, 6).expect("streamed training");
+
+    assert_eq!(fingerprint(&streamed), fingerprint(&direct), "served suggestions diverged");
+    assert_eq!(streamed.reports.len(), direct.reports.len());
+    assert_eq!(streamed.filter_stats, direct.filter_stats);
+    assert_eq!(streamed.robustness, direct.robustness);
+    assert_eq!(streamed.train.nextop.len(), direct.train.nextop.len());
+    let _ = std::fs::remove_dir_all(&dir);
+}
